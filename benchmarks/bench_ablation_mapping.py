@@ -1,0 +1,64 @@
+"""Ablation: the Fig. 7 W x K mapping vs a naive channel-only mapping.
+
+The W x K mapping parallelizes spatial positions *and* output channels
+across the 4096 lanes.  A naive mapping that only spreads output channels
+leaves most lanes idle whenever K < 4096 — this bench quantifies how much
+the paper's dataflow choice buys on real layer shapes.
+"""
+
+from repro.nkl.schedule import conv2d_schedule
+
+from tableutil import render_table
+
+LAYERS = [
+    ("early 56x56x64", 64, 64, 56, 56, 3),
+    ("mid 28x28x128", 128, 128, 28, 28, 3),
+    ("late 7x7x512", 512, 512, 7, 7, 3),
+    ("pointwise 14x14x1024", 256, 1024, 14, 14, 1),
+]
+
+
+def naive_channel_only_cycles(cin, cout, h, w, k) -> int:
+    """Only output channels across lanes: one output pixel per pass."""
+    inner = k * k * cin
+    passes = h * w * max(1, -(-cout // 4096))
+    return passes * (inner + 4)
+
+
+def compute_mapping_ablation():
+    rows = []
+    for label, cin, cout, h, w, k in LAYERS:
+        fig7 = conv2d_schedule(cin, cout, h, w, k, k)
+        naive = naive_channel_only_cycles(cin, cout, h, w, k)
+        rows.append(
+            [
+                label,
+                fig7.cycles,
+                naive,
+                f"{naive / fig7.cycles:.1f}x",
+                f"{fig7.utilization:.0%}",
+                f"{fig7.macs / (naive * 4096):.0%}",
+            ]
+        )
+    return rows
+
+
+def test_ablation_mapping(benchmark, capsys):
+    rows = benchmark(compute_mapping_ablation)
+    with capsys.disabled():
+        print()
+        print(render_table(
+            "Ablation: Fig. 7 W x K mapping vs naive channel-only mapping",
+            ["Layer", "WxK cycles", "naive cycles", "speedup",
+             "WxK util", "naive util"],
+            rows,
+        ))
+    speedups = [float(r[3][:-1]) for r in rows]
+    # The W x K mapping wins on every shape, dramatically on layers whose
+    # channel count is far below the machine width.
+    assert all(s > 1.5 for s in speedups)
+    assert max(speedups) > 20
+    # Utilization of the chosen mapping stays high across depths (the
+    # "sufficient parallelism is maintained" claim).
+    utils = [float(r[4][:-1]) / 100 for r in rows]
+    assert min(utils) > 0.5

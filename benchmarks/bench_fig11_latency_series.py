@@ -1,0 +1,52 @@
+"""Fig. 11: latency of integrated chip-vendor submissions (log-scale chart).
+
+Prints the chart's data series (one bar group per model, one bar per
+vendor) with a text rendering of the log-scale bars.
+"""
+
+import math
+
+from repro.perf.published import PUBLISHED_LATENCY_MS
+
+from tableutil import CNN_ORDER, display_name, system
+
+
+def compute_fig11_series():
+    series = {
+        "Centaur Ncore (simulated)": {
+            key: system(key).single_stream_latency_seconds() * 1e3 for key in CNN_ORDER
+        }
+    }
+    for vendor, row in PUBLISHED_LATENCY_MS.items():
+        series[vendor] = {k: row[k] for k in CNN_ORDER}
+    return series
+
+
+def _bar(value_ms: float, lo=0.1, hi=20.0, width=40) -> str:
+    span = math.log10(hi) - math.log10(lo)
+    filled = int((math.log10(max(value_ms, lo)) - math.log10(lo)) / span * width)
+    return "#" * max(1, filled)
+
+
+def test_fig11_latency_series(benchmark, capsys):
+    series = benchmark(compute_fig11_series)
+    with capsys.disabled():
+        print("\nFig. 11 reproduction: SingleStream latency (ms, log scale)")
+        for model in CNN_ORDER:
+            print(f"\n  {display_name(model)}")
+            for vendor, values in series.items():
+                value = values[model]
+                if value is None:
+                    continue
+                print(f"    {vendor:<28} {value:7.2f} |{_bar(value)}")
+    # The simulated series spans the same order of magnitude band as the
+    # published results (the figure's point: results span multiple orders).
+    sim = series["Centaur Ncore (simulated)"]
+    published = [
+        v[m]
+        for vendor, v in series.items()
+        for m in CNN_ORDER
+        if vendor != "Centaur Ncore (simulated)" and v[m] is not None
+    ]
+    assert min(sim.values()) >= min(published) * 0.4
+    assert max(sim.values()) <= max(published)

@@ -1,0 +1,42 @@
+"""Fig. 12: throughput of integrated chip-vendor submissions (log-scale)."""
+
+import math
+
+from repro.perf.published import PUBLISHED_THROUGHPUT_IPS
+
+from tableutil import MODEL_ORDER, display_name, system
+
+
+def compute_fig12_series():
+    series = {
+        "Centaur Ncore (simulated)": {
+            key: system(key).offline_throughput_ips() for key in MODEL_ORDER
+        }
+    }
+    for vendor, row in PUBLISHED_THROUGHPUT_IPS.items():
+        series[vendor] = {k: row[k] for k in MODEL_ORDER}
+    return series
+
+
+def _bar(value: float, lo=10.0, hi=40000.0, width=40) -> str:
+    span = math.log10(hi) - math.log10(lo)
+    filled = int((math.log10(max(value, lo)) - math.log10(lo)) / span * width)
+    return "#" * max(1, filled)
+
+
+def test_fig12_throughput_series(benchmark, capsys):
+    series = benchmark(compute_fig12_series)
+    with capsys.disabled():
+        print("\nFig. 12 reproduction: Offline throughput (inputs/second, log scale)")
+        for model in MODEL_ORDER:
+            print(f"\n  {display_name(model)}")
+            for vendor, values in series.items():
+                value = values[model]
+                if value is None:
+                    continue
+                print(f"    {vendor:<28} {value:10.2f} |{_bar(value)}")
+    sim = series["Centaur Ncore (simulated)"]
+    paper = series["Centaur Ncore"]
+    # Every simulated point stays within 1.5x of the paper's submission.
+    for model in MODEL_ORDER:
+        assert 0.5 * paper[model] < sim[model] < 1.5 * paper[model]

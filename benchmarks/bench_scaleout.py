@@ -1,0 +1,51 @@
+"""Scale-out: multi-socket throughput projection.
+
+Section I: "The x86 SoC platform can further scale out performance via
+multiple sockets, systems, or third-party PCIe accelerators."  This bench
+projects ResNet-50 Offline throughput across 1..4 CHA sockets and checks
+the claims: near-linear throughput scaling, unchanged SingleStream latency,
+and the two-socket system overtaking the Xavier submission.
+"""
+
+import pytest
+
+from repro.perf.published import PUBLISHED_THROUGHPUT_IPS
+from repro.soc.multisocket import MultiSocketSystem
+
+from tableutil import render_table, system
+
+
+def compute_scaleout():
+    base = system("resnet50_v15")
+    single_ips = base.offline_throughput_ips()
+    latency_ms = base.single_stream_latency_seconds() * 1e3
+    rows = []
+    for sockets in (1, 2, 4):
+        multi = MultiSocketSystem(sockets=sockets)
+        rows.append(
+            [
+                sockets,
+                multi.total_x86_cores(),
+                f"{multi.offline_throughput_ips(single_ips):,.0f}",
+                f"{multi.single_stream_latency_seconds(latency_ms / 1e3) * 1e3:.2f}",
+                f"{multi.scaling_factor() / sockets:.1%}",
+            ]
+        )
+    return single_ips, rows
+
+
+def test_scaleout(benchmark, capsys):
+    single_ips, rows = benchmark(compute_scaleout)
+    with capsys.disabled():
+        print()
+        print(render_table(
+            "Scale-out: ResNet-50 Offline throughput across CHA sockets",
+            ["Sockets", "x86 cores", "Offline IPS", "SingleStream (ms)", "efficiency"],
+            rows,
+        ))
+    # Latency does not improve with sockets; throughput nearly doubles.
+    assert rows[0][3] == rows[1][3] == rows[2][3]
+    two_socket = float(rows[1][2].replace(",", ""))
+    assert 1.9 * single_ips < two_socket <= 2.0 * single_ips
+    # Two sockets overtake the Xavier ResNet submission.
+    assert two_socket > PUBLISHED_THROUGHPUT_IPS["NVIDIA AGX Xavier"]["resnet50_v15"]

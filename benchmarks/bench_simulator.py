@@ -1,0 +1,68 @@
+"""Simulator performance: how fast the instruction-level model executes.
+
+Times the Fig. 6 fused convolution inner loop (one 4096-wide MAC issue per
+iteration) on the functional simulator — the number that bounds how large
+a workload the golden model can replay for verification.
+"""
+
+import numpy as np
+
+from repro.isa import assemble
+from repro.ncore import Ncore
+
+ITERATIONS = 512
+
+
+def build_machine():
+    machine = Ncore()
+    machine.write_data_ram(0, bytes(np.full(4096, 3, np.uint8)))
+    machine.write_weight_ram(0, bytes(np.full(4096, 2, np.uint8)))
+    program = assemble(
+        f"""
+        setaddr a0, 0
+        setaddr a3, 0
+        setaddr a5, 0
+        bypass n0, dram[a0]
+        loop {ITERATIONS} {{
+          broadcast64 n1, wtram[a3], a5, inc
+          mac.uint8 dlast, n1
+          rotl n0, n0, 64
+        }}
+        halt
+        """
+    )
+    return machine, program
+
+
+def test_simulator_inner_loop_throughput(benchmark):
+    machine, program = build_machine()
+
+    def run():
+        machine.reset()
+        return machine.execute_program(program)
+
+    result = benchmark(run)
+    assert result.halted
+    # One simulated clock per fused iteration, plus 3 setaddr + bypass +
+    # halt around the loop.
+    assert result.cycles == ITERATIONS + 5
+
+
+def test_simulator_dma_roundtrip_throughput(benchmark):
+    from repro.ncore import DmaDescriptor
+
+    machine = Ncore()
+    machine.dma_read.configure_window(0)
+    machine.memory.write(0, b"\x05" * (64 * 4096))
+    machine.set_dma_descriptor(
+        0, DmaDescriptor(False, True, ram_row=0, rows=64, dram_addr=0)
+    )
+    program = assemble("dmastart 0\ndmawait 1\nhalt")
+
+    def run():
+        machine.reset()
+        machine.dma_read.busy_until = 0
+        return machine.execute_program(program)
+
+    result = benchmark(run)
+    assert result.halted

@@ -1,0 +1,46 @@
+"""Table II: peak throughput (GOPS) of one CNS core vs Ncore per datatype."""
+
+import pytest
+
+from repro.dtypes import NcoreDType
+from repro.ncore import NcoreConfig
+from repro.soc import X86Core
+
+from tableutil import render_table
+
+
+def compute_table2():
+    cfg = NcoreConfig()
+    core = X86Core()
+    rows = [
+        [
+            "1x CNS x86 2.5 GHz",
+            round(core.peak_ops(NcoreDType.INT8) / 1e9),
+            round(core.peak_ops(NcoreDType.BF16) / 1e9),
+            round(core.peak_ops(None) / 1e9),
+        ],
+        [
+            "Ncore 2.5 GHz",
+            round(cfg.peak_ops_per_second(1) / 1e9),
+            round(cfg.peak_ops_per_second(3) / 1e9),
+            "N/A",
+        ],
+    ]
+    return rows
+
+
+def test_table2_peak_throughput(benchmark, capsys):
+    rows = benchmark(compute_table2)
+    with capsys.disabled():
+        print()
+        print(render_table(
+            "Table II reproduction: peak throughput (GOPS)",
+            ["Processor", "8b", "bfloat16", "FP32"],
+            rows,
+        ))
+    cns, ncore = rows
+    assert cns[1] == 106 and cns[2] == 80 and cns[3] == 80
+    assert ncore[1] == 20480
+    assert ncore[2] == pytest.approx(6826, abs=2)
+    # Ncore's 8-bit peak is ~193x one x86 core.
+    assert ncore[1] / cns[1] == pytest.approx(193, abs=1)

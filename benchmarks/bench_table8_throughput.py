@@ -1,0 +1,51 @@
+"""Table VIII: Offline throughput of integrated chip-vendor submissions."""
+
+import pytest
+
+from repro.perf.mlperf import run_offline
+from repro.perf.published import PUBLISHED_THROUGHPUT_IPS
+
+from tableutil import MODEL_ORDER, fmt, render_table, system
+
+
+def compute_table8():
+    simulated = {
+        key: run_offline(system(key), queries=1024).throughput_ips
+        for key in MODEL_ORDER
+    }
+    rows = [
+        ["Centaur Ncore (simulated)"]
+        + [f"{simulated[key]:,.2f}" for key in MODEL_ORDER]
+    ]
+    for vendor, row in PUBLISHED_THROUGHPUT_IPS.items():
+        label = vendor + (" (paper)" if vendor == "Centaur Ncore" else "")
+        rows.append(
+            [label]
+            + [f"{row[k]:,.2f}" if row[k] is not None else "-" for k in MODEL_ORDER]
+        )
+    return simulated, rows
+
+
+def test_table8_throughput(benchmark, capsys):
+    simulated, rows = benchmark(compute_table8)
+    with capsys.disabled():
+        print()
+        print(render_table(
+            "Table VIII reproduction: Offline throughput (inputs/second)",
+            ["Target system", "MobileNetV1", "ResNet50V1.5", "SSD-MobileNetV1", "GNMT"],
+            rows,
+        ))
+    published = PUBLISHED_THROUGHPUT_IPS
+    # Shape checks from section VI-B:
+    # - Xavier leads Ncore on ResNet throughput (by ~1.8x in the paper);
+    assert simulated["resnet50_v15"] < published["NVIDIA AGX Xavier"]["resnet50_v15"]
+    # - MobileNet throughput is within ~25% of Xavier's;
+    xavier = published["NVIDIA AGX Xavier"]["mobilenet_v1"]
+    assert abs(simulated["mobilenet_v1"] - xavier) / xavier < 0.30
+    # - the big Intel systems lead on raw throughput;
+    assert simulated["resnet50_v15"] < published["(2x) Intel CLX 9282"]["resnet50_v15"]
+    assert simulated["resnet50_v15"] < published["(2x) Intel NNP-I 1000"]["resnet50_v15"]
+    # - Ncore crushes the other integrated parts (i3, SDM855);
+    assert simulated["mobilenet_v1"] > 5 * published["Intel i3 1005G1"]["mobilenet_v1"]
+    # - GNMT lands on the paper's submission.
+    assert simulated["gnmt"] == pytest.approx(12.28, rel=0.15)

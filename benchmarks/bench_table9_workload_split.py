@@ -1,0 +1,53 @@
+"""Table IX: proportions of x86 and Ncore work in total latency."""
+
+import pytest
+
+from repro.perf.published import PAPER_WORKLOAD_SPLIT_MS
+
+from tableutil import CNN_ORDER, display_name, render_table, system
+
+
+def compute_table9():
+    rows = []
+    splits = {}
+    for key in CNN_ORDER:
+        split = system(key).workload_split()
+        splits[key] = split
+        paper = PAPER_WORKLOAD_SPLIT_MS[key]
+        rows.append(
+            [
+                display_name(key),
+                f"{split['total'] * 1e3:.2f}ms",
+                f"{split['ncore'] * 1e3:.2f}ms ({split['ncore'] / split['total']:.0%})",
+                f"{split['x86'] * 1e3:.2f}ms ({split['x86'] / split['total']:.0%})",
+                f"{paper['total']:.2f}ms",
+                f"{paper['ncore']:.2f}ms ({paper['ncore'] / paper['total']:.0%})",
+                f"{paper['x86']:.2f}ms ({paper['x86'] / paper['total']:.0%})",
+            ]
+        )
+    return splits, rows
+
+
+def test_table9_workload_split(benchmark, capsys):
+    splits, rows = benchmark(compute_table9)
+    with capsys.disabled():
+        print()
+        print(render_table(
+            "Table IX reproduction: Ncore vs x86 latency decomposition",
+            ["Model", "Total", "Ncore portion", "x86 portion",
+             "paper total", "paper Ncore", "paper x86"],
+            rows,
+        ))
+    fraction = {k: s["ncore"] / s["total"] for k, s in splits.items()}
+    # The decomposition's shape: ResNet is Ncore-dominated, SSD is
+    # x86-dominated, MobileNet in between (paper: 68% / 23% / 33%).
+    assert fraction["resnet50_v15"] > 0.55
+    assert fraction["ssd_mobilenet_v1"] < 0.35
+    assert (
+        fraction["resnet50_v15"]
+        > fraction["mobilenet_v1"]
+        > fraction["ssd_mobilenet_v1"]
+    )
+    for key in CNN_ORDER:
+        paper = PAPER_WORKLOAD_SPLIT_MS[key]
+        assert fraction[key] == pytest.approx(paper["ncore"] / paper["total"], abs=0.15)

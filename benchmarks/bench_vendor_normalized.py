@@ -1,0 +1,52 @@
+"""Section VI-B's normalized comparisons: per-ICE and per-Xeon-core ratios.
+
+"The 2x NNP-I 1000 achieved 10,567 IPS on ResNet-50-V1.5, which equates to
+440 IPS per 4096-byte ICE ... Ncore's score of 1218 IPS is 2.77x higher
+than a single 4096-byte ICE" and "Ncore's throughput is equivalent to
+approximately 23 of these VNNI-enabled Xeon cores."
+"""
+
+import pytest
+
+from repro.perf import published
+
+from tableutil import render_table, system
+
+
+def compute_normalized():
+    simulated = system("resnet50_v15").offline_throughput_ips()
+    per_ice = published.per_ice_resnet_ips()
+    per_core = published.per_core_resnet_ips()
+    return {
+        "simulated_ips": simulated,
+        "paper_ips": published.PUBLISHED_THROUGHPUT_IPS["Centaur Ncore"]["resnet50_v15"],
+        "per_ice": per_ice,
+        "per_core": per_core,
+        "paper_vs_ice": published.ncore_per_ice_speedup(),
+        "sim_vs_ice": simulated / per_ice,
+        "paper_vs_cores": published.ncore_vnni_core_equivalence(),
+        "sim_vs_cores": simulated / per_core,
+    }
+
+
+def test_vendor_normalized(benchmark, capsys):
+    r = benchmark(compute_normalized)
+    with capsys.disabled():
+        print()
+        print(render_table(
+            "Section VI-B reproduction: normalized ResNet-50 comparisons",
+            ["Metric", "Paper", "Simulated"],
+            [
+                ["Ncore ResNet-50 IPS", f"{r['paper_ips']:.0f}", f"{r['simulated_ips']:.0f}"],
+                ["vs one NNP-I ICE (same 4096-B width)", f"{r['paper_vs_ice']:.2f}x", f"{r['sim_vs_ice']:.2f}x"],
+                ["VNNI Xeon core equivalence", f"{r['paper_vs_cores']:.1f} cores", f"{r['sim_vs_cores']:.1f} cores"],
+            ],
+        ))
+    # The paper's derived constants hold exactly...
+    assert r["per_ice"] == pytest.approx(440, abs=1)
+    assert r["per_core"] == pytest.approx(53.3, abs=0.1)
+    assert r["paper_vs_ice"] == pytest.approx(2.77, abs=0.01)
+    assert r["paper_vs_cores"] == pytest.approx(22.9, abs=0.3)
+    # ...and the simulated Ncore keeps the same multi-x advantages.
+    assert r["sim_vs_ice"] > 2.0
+    assert r["sim_vs_cores"] > 15

@@ -1,0 +1,35 @@
+"""Shared helpers for the table/figure reproduction benchmarks."""
+
+from __future__ import annotations
+
+from repro.models import PAPER_CHARACTERISTICS
+from repro.perf.system import get_system
+
+MODEL_ORDER = ["mobilenet_v1", "resnet50_v15", "ssd_mobilenet_v1", "gnmt"]
+CNN_ORDER = MODEL_ORDER[:3]
+
+
+def display_name(key: str) -> str:
+    return PAPER_CHARACTERISTICS[key].display
+
+
+def fmt(value, precision=2, width=10) -> str:
+    if value is None:
+        return "-".rjust(width)
+    return f"{value:,.{precision}f}".rjust(width)
+
+
+def render_table(title: str, header: list[str], rows: list[list]) -> str:
+    """Plain-text table in the paper's row/column arrangement."""
+    widths = [
+        max(len(str(header[i])), *(len(str(row[i])) for row in rows))
+        for i in range(len(header))
+    ]
+    def line(cells):
+        return "  ".join(str(c).rjust(w) for c, w in zip(cells, widths))
+    bar = "-" * (sum(widths) + 2 * (len(widths) - 1))
+    return "\n".join([title, bar, line(header), bar, *(line(r) for r in rows), bar])
+
+
+def system(key: str):
+    return get_system(key)

@@ -1,0 +1,18 @@
+"""Reproduction of the Centaur Ncore deep-learning coprocessor (ISCA 2020).
+
+The package is organised as the paper's system is:
+
+- :mod:`repro.dtypes`   -- numerics: bfloat16, saturating integers, quantization.
+- :mod:`repro.isa`      -- the Ncore VLIW-like instruction set and assembler.
+- :mod:`repro.ncore`    -- the 4096-byte-wide SIMD coprocessor simulator.
+- :mod:`repro.soc`      -- the CHA SoC substrate: ring bus, DRAM, L3, x86 cores.
+- :mod:`repro.graph`    -- the Graph Compiler Library (GCL): IR, passes, planner.
+- :mod:`repro.nkl`      -- the Ncore Kernel Library: hand-scheduled kernels.
+- :mod:`repro.runtime`  -- driver model, user runtime, delegate integration.
+- :mod:`repro.quantize` -- post-training quantized-model converter.
+- :mod:`repro.models`   -- MobileNet-V1, ResNet-50-v1.5, SSD-MobileNet-V1, GNMT.
+- :mod:`repro.vcl`      -- vector class library used for algorithm prototyping.
+- :mod:`repro.perf`     -- MLPerf-style harness and published comparison data.
+"""
+
+__version__ = "1.0.0"

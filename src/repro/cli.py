@@ -1,0 +1,177 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``info``                  -- the CHA/Ncore configuration and peak numbers
+- ``selftest``              -- run the power-on self-test on a fresh SoC model
+- ``models``                -- the model zoo with Table V characteristics
+- ``bench <model>``         -- latency/throughput/split for one zoo model
+- ``reproduce``             -- regenerate every paper table/figure in one run
+- ``compile <graph-path>``  -- compile a serialized GIR and print the report
+- ``run <graph-path>``      -- execute a serialized GIR on a random input
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_info(args) -> int:
+    from repro.ncore import NcoreConfig
+    from repro.soc import ChaSoc
+
+    cfg = NcoreConfig()
+    soc = ChaSoc()
+    print("CHA SoC model")
+    print(f"  x86 cores:        {len(soc.cores)} (CNS, {cfg.clock_hz / 1e9:.1f} GHz)")
+    print(f"  ring bandwidth:   {soc.ring.bandwidth_per_direction / 1e9:.0f} GB/s per direction")
+    print(f"  DRAM bandwidth:   {soc.dram.peak_bandwidth / 1e9:.1f} GB/s (4x DDR4-3200)")
+    print(f"  shared L3:        {soc.l3.size_bytes // (1 << 20)} MB")
+    print("Ncore")
+    print(f"  slices:           {cfg.slices} x 256 B = {cfg.row_bytes} lanes")
+    print(f"  SRAM:             {cfg.total_ram_bytes // (1 << 20)} MB "
+          f"(data {cfg.data_ram_bytes // (1 << 20)} + weight {cfg.weight_ram_bytes // (1 << 20)})")
+    print(f"  peak int8:        {cfg.peak_ops_per_second(1) / 1e12:.2f} TOPS")
+    print(f"  peak bf16:        {cfg.peak_ops_per_second(3) / 1e12:.2f} TOPS")
+    print(f"  SRAM throughput:  {cfg.sram_bandwidth_bytes_per_second() / 1e12:.1f} TB/s")
+    return 0
+
+
+def _cmd_selftest(args) -> int:
+    from repro.runtime import NcoreKernelDriver
+    from repro.soc import ChaSoc
+
+    driver = NcoreKernelDriver(ChaSoc())
+    driver.probe()
+    report = driver.self_test()
+    for name in ("ram_march_ok", "mac_datapath_ok", "dma_loopback_ok", "debug_fabric_ok"):
+        status = "PASS" if getattr(report, name) else "FAIL"
+        print(f"  {name:<18} {status}")
+    if report.failures:
+        for failure in report.failures:
+            print(f"  failure: {failure}")
+        return 1
+    print("POST passed")
+    return 0
+
+
+def _cmd_models(args) -> int:
+    from repro.models import PAPER_CHARACTERISTICS
+
+    print(f"{'key':<18} {'model':<18} {'MACs':>8} {'weights':>9} {'MACs/wt':>8}")
+    for key, info in PAPER_CHARACTERISTICS.items():
+        graph = info.build()
+        macs, weights = graph.count_macs(), graph.count_weights()
+        print(f"{key:<18} {info.display:<18} {macs / 1e9:7.2f}B {weights / 1e6:8.1f}M "
+              f"{macs / weights:8.0f}")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.models import PAPER_CHARACTERISTICS
+    from repro.perf.system import get_system
+
+    if args.model not in PAPER_CHARACTERISTICS:
+        print(f"unknown model {args.model!r}; try one of "
+              f"{sorted(PAPER_CHARACTERISTICS)}", file=sys.stderr)
+        return 2
+    system = get_system(args.model)
+    split = system.workload_split()
+    print(f"{system.info.display} on one CHA socket")
+    print(f"  Ncore portion:        {split['ncore'] * 1e3:8.3f} ms "
+          f"({split['ncore'] / split['total']:.0%})")
+    print(f"  x86 portion:          {split['x86'] * 1e3:8.3f} ms")
+    print(f"  SingleStream latency: {system.single_stream_latency_seconds() * 1e3:8.3f} ms")
+    print(f"  Offline throughput:   {system.offline_throughput_ips(cores=args.cores):8.1f} IPS "
+          f"({args.cores} cores)")
+    return 0
+
+
+def _cmd_reproduce(args) -> int:
+    from repro.perf.report import generate_report
+
+    print(generate_report())
+    return 0
+
+
+def _cmd_compile(args) -> int:
+    from repro.graph.frontends import load_graph
+    from repro.runtime import compile_model
+
+    graph = load_graph(args.path)
+    compiled = compile_model(graph, optimize=not args.no_optimize)
+    print(compiled.summary())
+    cycles = compiled.ncore_cycles()
+    print(f"Ncore portion: {cycles:,} cycles ({cycles / 2.5e9 * 1e6:.1f} us at 2.5 GHz)")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.graph.frontends import load_graph
+    from repro.runtime import InferenceSession, compile_model
+
+    graph = load_graph(args.path)
+    compiled = compile_model(graph, optimize=not args.no_optimize)
+    session = InferenceSession(compiled)
+    rng = np.random.default_rng(args.seed)
+    feeds = {}
+    for name in compiled.graph.inputs:
+        tensor = compiled.graph.tensor(name)
+        if tensor.type.dtype == "int32":
+            feeds[name] = rng.integers(0, 100, size=tensor.shape).astype(np.int32)
+        else:
+            feeds[name] = rng.uniform(-1, 1, size=tensor.shape).astype(np.float32)
+    result = session.run(feeds)
+    for name, value in result.outputs.items():
+        value = np.asarray(value)
+        print(f"  output {name}: shape {value.shape}, "
+              f"range [{value.min():.4g}, {value.max():.4g}]")
+    timing = result.timing
+    print(f"  latency: {timing.total_seconds * 1e6:.1f} us "
+          f"(Ncore {timing.ncore_fraction:.0%})")
+    session.close()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Ncore/CHA reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("info", help="show the modelled hardware configuration")
+    sub.add_parser("selftest", help="run the power-on self-test")
+    sub.add_parser("models", help="list the model zoo (Table V)")
+    sub.add_parser("reproduce", help="regenerate every paper table/figure")
+    bench = sub.add_parser("bench", help="benchmark one zoo model")
+    bench.add_argument("model", help="model key, e.g. resnet50_v15")
+    bench.add_argument("--cores", type=int, default=8)
+    for name in ("compile", "run"):
+        cmd = sub.add_parser(name, help=f"{name} a serialized GIR")
+        cmd.add_argument("path", help="path prefix of the .json/.npz pair")
+        cmd.add_argument("--no-optimize", action="store_true")
+        if name == "run":
+            cmd.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+_COMMANDS = {
+    "info": _cmd_info,
+    "selftest": _cmd_selftest,
+    "models": _cmd_models,
+    "reproduce": _cmd_reproduce,
+    "bench": _cmd_bench,
+    "compile": _cmd_compile,
+    "run": _cmd_run,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,106 @@
+"""Ncore integer datatypes and saturating arithmetic.
+
+The NPU operates on int8 / uint8 / int16 operands (plus bfloat16, handled in
+:mod:`repro.dtypes.bfloat16`) and accumulates into a 32-bit *saturating*
+accumulator (section IV-D.4).  This module defines the datatype registry used
+throughout the simulator and the saturating primitives the NPU model builds
+on.  Everything is vectorised over numpy arrays: one array element per SIMD
+byte lane.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+# 32-bit saturating accumulator bounds (section IV-D.4).
+ACC_MIN = -(2**31)
+ACC_MAX = 2**31 - 1
+
+
+class NcoreDType(enum.Enum):
+    """Datatypes supported by the Ncore execution pipeline (Table I)."""
+
+    INT8 = "int8"
+    UINT8 = "uint8"
+    INT16 = "int16"
+    BF16 = "bf16"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class DTypeInfo:
+    """Static properties of one Ncore datatype.
+
+    ``npu_cycles`` is the NPU issue latency from section IV-D.4: 8-bit
+    operations execute in one clock, bfloat16 in three, int16 in four.
+    ``bytes_per_element`` drives RAM layout: 16-bit values are split into a
+    low-byte row and a high-byte row (section IV-C.2).
+    """
+
+    dtype: NcoreDType
+    numpy_dtype: np.dtype
+    bytes_per_element: int
+    npu_cycles: int
+    min_value: int | float
+    max_value: int | float
+    is_float: bool
+
+
+_DTYPE_TABLE: dict[NcoreDType, DTypeInfo] = {
+    NcoreDType.INT8: DTypeInfo(
+        NcoreDType.INT8, np.dtype(np.int8), 1, 1, -128, 127, False
+    ),
+    NcoreDType.UINT8: DTypeInfo(
+        NcoreDType.UINT8, np.dtype(np.uint8), 1, 1, 0, 255, False
+    ),
+    NcoreDType.INT16: DTypeInfo(
+        NcoreDType.INT16, np.dtype(np.int16), 2, 4, -32768, 32767, False
+    ),
+    NcoreDType.BF16: DTypeInfo(
+        NcoreDType.BF16, np.dtype(np.float32), 2, 3, -3.3895314e38, 3.3895314e38, True
+    ),
+}
+
+
+def dtype_info(dtype: NcoreDType | str) -> DTypeInfo:
+    """Look up the :class:`DTypeInfo` for a datatype (by enum or name)."""
+    if isinstance(dtype, str):
+        dtype = NcoreDType(dtype)
+    return _DTYPE_TABLE[dtype]
+
+
+def saturate(x: np.ndarray, dtype: NcoreDType | str) -> np.ndarray:
+    """Clamp *x* into the representable range of *dtype* and cast.
+
+    For integer types this is the hardware saturation applied when narrowing
+    results; bfloat16 saturation clamps to +-BF16_MAX (overflow to infinity
+    is not produced by the OUT unit's requantisation path).
+    """
+    info = dtype_info(dtype)
+    clipped = np.clip(np.asarray(x), info.min_value, info.max_value)
+    return clipped.astype(info.numpy_dtype)
+
+
+def saturating_add(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """32-bit saturating add, as performed by the NPU accumulator."""
+    wide = a.astype(np.int64) + b.astype(np.int64)
+    return np.clip(wide, ACC_MIN, ACC_MAX).astype(np.int32)
+
+
+def saturating_accumulate(
+    acc: np.ndarray, data: np.ndarray, weight: np.ndarray
+) -> np.ndarray:
+    """One MAC step: ``acc = sat32(acc + data * weight)``.
+
+    Operands are widened to int64 before the multiply so that no intermediate
+    overflow can occur (max |product| for s9 x s9 inputs is << 2**63), then
+    the sum is saturated back into the 32-bit accumulator, matching the NPU's
+    saturating accumulator semantics.
+    """
+    wide = acc.astype(np.int64) + data.astype(np.int64) * weight.astype(np.int64)
+    return np.clip(wide, ACC_MIN, ACC_MAX).astype(np.int32)

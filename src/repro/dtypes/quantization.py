@@ -1,0 +1,227 @@
+"""Affine quantization and the OUT unit's requantization arithmetic.
+
+The paper adopts post-training 8-bit quantization schemes "that do not
+require re-training" (section II-A.6, citing Jacob et al.), which is the
+standard per-tensor affine scheme::
+
+    real = scale * (quantized - zero_point)
+
+The OUT unit requantizes the 32-bit accumulator "by multiplying the
+accumulator with a range value, shifting the result left or right based on a
+scale value, and adding an offset value" (section IV-D.5).  That is exactly
+the fixed-point multiplier + shift + output-zero-point pipeline of
+gemmlowp/TensorFlow-Lite, which this module implements bit-exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dtypes.fixedpoint import ACC_MAX, ACC_MIN, NcoreDType, dtype_info, saturate
+
+
+@dataclass(frozen=True)
+class QuantParams:
+    """Per-tensor affine quantization parameters."""
+
+    scale: float
+    zero_point: int
+    dtype: NcoreDType = NcoreDType.UINT8
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0.0:
+            raise ValueError(f"quantization scale must be positive, got {self.scale}")
+        info = dtype_info(self.dtype)
+        if info.is_float:
+            raise ValueError("affine quantization applies to integer dtypes only")
+        if not info.min_value <= self.zero_point <= info.max_value:
+            raise ValueError(
+                f"zero_point {self.zero_point} outside {self.dtype} range "
+                f"[{info.min_value}, {info.max_value}]"
+            )
+
+    @property
+    def range(self) -> tuple[float, float]:
+        """Real-valued range representable under these parameters."""
+        info = dtype_info(self.dtype)
+        return (
+            self.scale * (info.min_value - self.zero_point),
+            self.scale * (info.max_value - self.zero_point),
+        )
+
+
+def choose_quant_params(
+    rmin: float, rmax: float, dtype: NcoreDType | str = NcoreDType.UINT8
+) -> QuantParams:
+    """Pick affine parameters covering the real interval [rmin, rmax].
+
+    The interval is first widened to include zero so that the real value 0.0
+    is exactly representable (required so that zero-padding introduces no
+    quantization error), then the zero point is nudged onto an integer.
+    """
+    if isinstance(dtype, str):
+        dtype = NcoreDType(dtype)
+    info = dtype_info(dtype)
+    rmin = min(float(rmin), 0.0)
+    rmax = max(float(rmax), 0.0)
+    if rmin == rmax:  # degenerate all-zero tensor
+        return QuantParams(scale=1.0, zero_point=0 if rmin == 0 else int(info.min_value), dtype=dtype)
+    qmin, qmax = int(info.min_value), int(info.max_value)
+    scale = (rmax - rmin) / (qmax - qmin)
+    zero_point_real = qmin - rmin / scale
+    zero_point = int(np.clip(round(zero_point_real), qmin, qmax))
+    return QuantParams(scale=scale, zero_point=zero_point, dtype=dtype)
+
+
+def quantize(x: np.ndarray, params: QuantParams) -> np.ndarray:
+    """Quantize real values to integers: ``q = round(x / scale) + zp``."""
+    q = np.round(np.asarray(x, dtype=np.float64) / params.scale) + params.zero_point
+    return saturate(q, params.dtype)
+
+
+def dequantize(q: np.ndarray, params: QuantParams) -> np.ndarray:
+    """Recover real values: ``x = scale * (q - zp)``, as float32."""
+    return (params.scale * (np.asarray(q, dtype=np.float64) - params.zero_point)).astype(
+        np.float32
+    )
+
+
+@dataclass(frozen=True)
+class ChannelQuantParams:
+    """Per-channel affine quantization parameters (one scale/zero-point per
+    slice along ``axis``).
+
+    Per-channel weight quantization is the standard refinement of the
+    per-tensor scheme: each output channel gets its own range, recovering
+    most of the accuracy lost when channel magnitudes differ widely.  The
+    OUT unit supports it directly — its requantization range/scale/offset
+    registers are per-lane (see repro.ncore.out).
+    """
+
+    scales: tuple[float, ...]
+    zero_points: tuple[int, ...]
+    axis: int
+    dtype: NcoreDType = NcoreDType.UINT8
+
+    def __post_init__(self) -> None:
+        if len(self.scales) != len(self.zero_points):
+            raise ValueError("scales and zero_points must have equal length")
+        if not self.scales:
+            raise ValueError("per-channel params need at least one channel")
+        if any(s <= 0 for s in self.scales):
+            raise ValueError("quantization scales must be positive")
+
+    @property
+    def num_channels(self) -> int:
+        return len(self.scales)
+
+    def _broadcast(self, values, ndim: int) -> np.ndarray:
+        shape = [1] * ndim
+        shape[self.axis] = self.num_channels
+        return np.asarray(values, dtype=np.float64).reshape(shape)
+
+    def quantize(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        scales = self._broadcast(self.scales, x.ndim)
+        zero_points = self._broadcast(self.zero_points, x.ndim)
+        return saturate(np.round(x / scales) + zero_points, self.dtype)
+
+    def dequantize(self, q: np.ndarray) -> np.ndarray:
+        q = np.asarray(q, dtype=np.float64)
+        scales = self._broadcast(self.scales, q.ndim)
+        zero_points = self._broadcast(self.zero_points, q.ndim)
+        return ((q - zero_points) * scales).astype(np.float32)
+
+
+def choose_channel_quant_params(
+    data: np.ndarray, axis: int, dtype: NcoreDType | str = NcoreDType.UINT8
+) -> ChannelQuantParams:
+    """Per-channel parameters from a weight tensor's per-slice ranges."""
+    if isinstance(dtype, str):
+        dtype = NcoreDType(dtype)
+    data = np.asarray(data)
+    reduce_axes = tuple(i for i in range(data.ndim) if i != axis)
+    mins = np.min(data, axis=reduce_axes)
+    maxs = np.max(data, axis=reduce_axes)
+    params = [choose_quant_params(lo, hi, dtype) for lo, hi in zip(mins, maxs)]
+    return ChannelQuantParams(
+        scales=tuple(p.scale for p in params),
+        zero_points=tuple(p.zero_point for p in params),
+        axis=axis,
+        dtype=dtype,
+    )
+
+
+def quantize_multiplier(real_multiplier: float) -> tuple[int, int]:
+    """Decompose a positive real multiplier into (int32 mantissa, right shift).
+
+    Returns ``(m, shift)`` such that ``real_multiplier ~= m * 2**(-31 - shift)``
+    with ``m`` in ``[2**30, 2**31)``.  ``shift`` may be negative, meaning a
+    left shift — this corresponds to the OUT unit "shifting the result left
+    or right based on a scale value".
+    """
+    if real_multiplier <= 0.0:
+        raise ValueError("requantization multiplier must be positive")
+    mantissa, exponent = np.frexp(real_multiplier)  # mantissa in [0.5, 1)
+    m = int(round(mantissa * (1 << 31)))
+    if m == (1 << 31):  # rounding overflowed the mantissa; renormalise
+        m //= 2
+        exponent += 1
+    shift = -int(exponent)
+    return m, shift
+
+
+def rounding_right_shift(x: np.ndarray, shift: int) -> np.ndarray:
+    """Arithmetic right shift with round-half-away-from-zero.
+
+    This is gemmlowp's ``RoundingDivideByPOT``: the rounding used by the OUT
+    unit when discarding low accumulator bits.  ``shift`` must be >= 0.
+    """
+    if shift < 0:
+        raise ValueError("shift must be non-negative")
+    if shift == 0:
+        return np.asarray(x).copy()
+    x = np.asarray(x, dtype=np.int64)
+    mask = np.int64((1 << shift) - 1)
+    remainder = x & mask
+    threshold = np.int64(mask >> 1) + (x < 0).astype(np.int64)
+    return (x >> np.int64(shift)) + (remainder > threshold).astype(np.int64)
+
+
+def _saturating_rounding_doubling_high_mul(a: np.ndarray, m: int) -> np.ndarray:
+    """gemmlowp's SaturatingRoundingDoublingHighMul on int32 lanes."""
+    a = np.asarray(a, dtype=np.int64)
+    prod = a * np.int64(m)
+    nudge = np.where(prod >= 0, np.int64(1 << 30), np.int64(1 - (1 << 30)))
+    total = prod + nudge
+    # C++ integer division truncates toward zero; emulate it exactly.
+    magnitude = np.abs(total) >> np.int64(31)
+    result = np.where(total >= 0, magnitude, -magnitude)
+    # The only overflow case is INT32_MIN * INT32_MIN; saturate regardless.
+    return np.clip(result, ACC_MIN, ACC_MAX)
+
+
+def requantize(
+    acc: np.ndarray,
+    multiplier: int,
+    shift: int,
+    offset: int,
+    dtype: NcoreDType | str = NcoreDType.UINT8,
+) -> np.ndarray:
+    """Requantize 32-bit accumulators to a narrow integer type.
+
+    Implements the OUT unit datapath: multiply by the *range* value
+    (``multiplier``, an int32 fixed-point mantissa), shift by the *scale*
+    value (``shift``; positive = right, negative = left), then add the
+    *offset* (the output zero point) and saturate to *dtype*.
+    """
+    acc = np.asarray(acc, dtype=np.int64)
+    if shift < 0:  # left shift applied before the high-mul, as in gemmlowp
+        acc = np.clip(acc << np.int64(-shift), ACC_MIN, ACC_MAX)
+        scaled = _saturating_rounding_doubling_high_mul(acc, multiplier)
+    else:
+        scaled = _saturating_rounding_doubling_high_mul(acc, multiplier)
+        scaled = rounding_right_shift(scaled, shift)
+    return saturate(scaled + np.int64(offset), dtype)

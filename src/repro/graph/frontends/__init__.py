@@ -1,0 +1,23 @@
+"""GCL frontends: importing framework-specific graph representations.
+
+Section V-B: "To support multiple GIRs from different frameworks, the
+Ncore Graph Compiler Library (GCL) provides frontends that can import
+framework-specific GIRs into Ncore's own GIR", noting the formats differ
+in more than serialization — "the definition of padding for some
+convolutions leads to different results for TensorFlow vs PyTorch".
+
+Two frontends are provided, modelling the two convention families:
+
+- :mod:`tf_like`    -- NHWC activations, HWIO weights, string padding
+  ("SAME" computed TF-style: extra padding goes bottom/right);
+- :mod:`torch_like` -- NCHW activations, OIHW weights, symmetric integer
+  padding; the frontend transposes layouts on import.
+
+Plus the on-disk serialization of Ncore's own GIR (:mod:`serialization`).
+"""
+
+from repro.graph.frontends.serialization import load_graph, save_graph
+from repro.graph.frontends.tf_like import import_tf_like
+from repro.graph.frontends.torch_like import import_torch_like
+
+__all__ = ["import_tf_like", "import_torch_like", "load_graph", "save_graph"]

@@ -1,0 +1,139 @@
+"""The Ncore Loadable: everything needed to run a model on Ncore.
+
+Section V-B: "The final result is an Ncore Loadable which contains
+everything needed to execute the DL model on Ncore" — the lowered kernels,
+the memory plan, the weight images and the DMA schedule.  A
+:class:`CompiledModel` strings loadables and x86 segments together in
+execution order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.graph.gir import Graph
+from repro.graph.partitioner import Segment
+from repro.graph.planner import MemoryPlan
+
+
+@dataclass
+class KernelInvocation:
+    """One lowered operation: which NKL kernel runs a node, and its cost."""
+
+    node_name: str
+    op: str
+    kernel: str
+    cycles: int
+    macs: int = 0
+    weight_bytes: int = 0
+    output_tensor: str = ""
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def utilization(self) -> float:
+        """MAC-lane utilization of this kernel (1.0 = all 4096 busy)."""
+        if self.cycles == 0:
+            return 0.0
+        return self.macs / (self.cycles * 4096)
+
+
+@dataclass
+class NcoreLoadable:
+    """A compiled Ncore segment."""
+
+    name: str
+    segment: Segment
+    memory_plan: MemoryPlan
+    kernels: list[KernelInvocation] = field(default_factory=list)
+    weight_image_bytes: int = 0
+
+    @property
+    def compute_cycles(self) -> int:
+        return sum(k.cycles for k in self.kernels)
+
+    def total_cycles(self, dma_bytes_per_cycle: float = 40.96) -> int:
+        """Cycle estimate with weight DMA overlapped against compute.
+
+        Pinned weights cost a one-time preload (not counted per inference).
+        Streamed weights prefetch one layer ahead; a layer stalls only when
+        its weight DMA outlives the previous layer's compute.
+        """
+        total = 0
+        previous_compute = 0
+        for kernel in self.kernels:
+            stall = 0
+            if not self.memory_plan.weights_pinned and kernel.weight_bytes:
+                dma_cycles = int(np.ceil(kernel.weight_bytes / dma_bytes_per_cycle))
+                stall = max(0, dma_cycles - previous_compute)
+            total += kernel.cycles + stall
+            previous_compute = kernel.cycles
+        return total
+
+    def seconds(self, clock_hz: float = 2.5e9, dma_bytes_per_cycle: float = 40.96) -> float:
+        return self.total_cycles(dma_bytes_per_cycle) / clock_hz
+
+    @property
+    def mean_utilization(self) -> float:
+        cycles = self.compute_cycles
+        if cycles == 0:
+            return 0.0
+        return sum(k.macs for k in self.kernels) / (cycles * 4096)
+
+
+@dataclass
+class CompiledModel:
+    """The full compilation result: segments in execution order."""
+
+    name: str
+    graph: Graph
+    segments: list[Segment]
+    loadables: dict[int, NcoreLoadable] = field(default_factory=dict)  # by segment idx
+
+    @property
+    def ncore_segments(self) -> list[int]:
+        return [i for i, s in enumerate(self.segments) if s.target == "ncore"]
+
+    @property
+    def x86_segments(self) -> list[int]:
+        return [i for i, s in enumerate(self.segments) if s.target == "x86"]
+
+    def ncore_cycles(self, dma_bytes_per_cycle: float = 40.96) -> int:
+        return sum(
+            self.loadables[i].total_cycles(dma_bytes_per_cycle)
+            for i in self.ncore_segments
+            if i in self.loadables
+        )
+
+    def summary(self) -> str:
+        """Human-readable compilation report (utilization, DMA, placement)."""
+        lines = [f"CompiledModel {self.name!r}: {len(self.segments)} segments"]
+        for i, segment in enumerate(self.segments):
+            line = f"  [{i}] {segment.target:<5} {len(segment.nodes):>3} nodes"
+            if i in self.loadables:
+                loadable = self.loadables[i]
+                pinned = "pinned" if loadable.memory_plan.weights_pinned else "streamed"
+                line += (
+                    f"  {loadable.compute_cycles:>9} cycles"
+                    f"  util {loadable.mean_utilization:5.1%}"
+                    f"  weights {pinned}"
+                )
+            lines.append(line)
+        return "\n".join(lines)
+
+
+def render_partition(model: CompiledModel, max_nodes_per_segment: int = 6) -> str:
+    """A Fig. 9-style rendering of the delegate's graph modification:
+    which subgraphs run on Ncore, which fall back to x86."""
+    lines = [f"Delegate partition of {model.name!r}:"]
+    for index, segment in enumerate(model.segments):
+        marker = "[Ncore]" if segment.target == "ncore" else "[ x86 ]"
+        lines.append(f"  {marker} segment {index} ({len(segment.nodes)} nodes)")
+        shown = segment.nodes[:max_nodes_per_segment]
+        for node in shown:
+            lines.append(f"      {node.op:<18} {node.name}")
+        if len(segment.nodes) > len(shown):
+            lines.append(f"      ... {len(segment.nodes) - len(shown)} more")
+    return "\n".join(lines)

@@ -1,0 +1,122 @@
+"""Delegate-style graph partitioning (Fig. 9).
+
+TensorFlow-Lite's Delegate interface "splits a network's graph into
+subgraphs, assigning execution of each subgraph to a specific target" —
+compatible portions to Ncore, the rest (preprocessing, NMS, framework-only
+ops) to the x86 cores, with TensorFlow handling the callbacks between
+them.  This module reproduces that split over the GIR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graph.gir import Graph, Node
+
+# Ops the Ncore kernel library can lower.  Everything else falls back to
+# x86 — notably NMS, which TensorFlow-Lite ran on the CPU in the paper's
+# SSD-MobileNet submission (section VI-C), reshapes (pure layout, handled
+# at subgraph edges), and softmax.
+NCORE_OPS = frozenset(
+    {
+        "conv2d",
+        "depthwise_conv2d",
+        "fully_connected",
+        "add",
+        "mul",
+        "relu",
+        "relu6",
+        "tanh",
+        "sigmoid",
+        "max_pool",
+        "avg_pool",
+        "mean",
+        "concat",
+        "quantize",
+        "dequantize",
+        "lstm_cell",
+        "attention",
+        "slice",
+        "identity",
+    }
+)
+
+NCORE_TARGET = "ncore"
+X86_TARGET = "x86"
+
+
+@dataclass
+class Segment:
+    """A maximal run of same-target nodes, executed as one unit."""
+
+    target: str
+    nodes: list[Node] = field(default_factory=list)
+
+    def input_tensors(self, graph: Graph) -> list[str]:
+        """Tensors this segment consumes from outside itself (non-const)."""
+        internal = {name for node in self.nodes for name in node.outputs}
+        seen: list[str] = []
+        for node in self.nodes:
+            for name in node.inputs:
+                tensor = graph.tensor(name)
+                if name in internal or tensor.is_constant or name in seen:
+                    continue
+                seen.append(name)
+        return seen
+
+    def output_tensors(self, graph: Graph) -> list[str]:
+        """Tensors produced here that are used outside (or graph outputs)."""
+        internal_nodes = set(id(node) for node in self.nodes)
+        out: list[str] = []
+        for node in self.nodes:
+            for name in node.outputs:
+                consumed_outside = any(
+                    id(consumer) not in internal_nodes
+                    for consumer in graph.consumers(name)
+                )
+                if (consumed_outside or name in graph.outputs) and name not in out:
+                    out.append(name)
+        return out
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+def node_target(node: Node) -> str:
+    """Which engine a single node runs on."""
+    return NCORE_TARGET if node.op in NCORE_OPS else X86_TARGET
+
+
+def partition(graph: Graph) -> list[Segment]:
+    """Split the (topologically ordered) graph into target segments.
+
+    Consecutive nodes with the same target merge into one segment, which
+    keeps dependencies intact because node order is preserved.  The result
+    matches the Delegate behaviour in Fig. 9: large Ncore subgraphs with
+    x86 islands around unsupported ops.
+    """
+    segments: list[Segment] = []
+    for node in graph.nodes:
+        target = node_target(node)
+        if segments and segments[-1].target == target:
+            segments[-1].nodes.append(node)
+        else:
+            segments.append(Segment(target, [node]))
+    return segments
+
+
+def ncore_coverage(graph: Graph, segments: list[Segment] | None = None) -> float:
+    """Fraction of MAC work landing on Ncore (a compile-quality metric)."""
+    from repro.graph.gir import _node_macs
+
+    segments = segments if segments is not None else partition(graph)
+    total = graph.count_macs()
+    if total == 0:
+        return 0.0
+    ncore = sum(
+        _node_macs(graph, node)
+        for segment in segments
+        if segment.target == NCORE_TARGET
+        for node in segment.nodes
+    )
+    return ncore / total

@@ -1,0 +1,83 @@
+"""Graph-level optimization passes (section V-B).
+
+The paper's examples, all implemented here:
+
+- eliminate batch-normalization by folding its constants into adjacent
+  convolution filters and bias vectors (:mod:`folding`);
+- fuse element-wise bias-addition and activation functions into operations
+  such as convolution (:mod:`fusion`);
+- fuse explicit pad operations into an adjacent convolution — the
+  ResNet-50-V1.5 MLPerf reference graph has four of these (:mod:`fusion`);
+- constant folding and dead-code elimination (:mod:`cleanup`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.graph.gir import Graph
+from repro.graph.passes.cleanup import (
+    common_subexpression_elimination,
+    constant_fold,
+    dead_code_elimination,
+)
+from repro.graph.passes.folding import fold_batch_norm
+from repro.graph.passes.fusion import fuse_bias_add, fuse_activations, fuse_pad
+
+GraphPass = Callable[[Graph], bool]
+
+
+class PassManager:
+    """Runs a pipeline of passes to a fixed point.
+
+    Each pass returns True when it changed the graph; the manager repeats
+    the pipeline until a full sweep makes no changes (bounded, since every
+    pass strictly shrinks or annotates the graph).
+    """
+
+    def __init__(self, passes: list[GraphPass], max_sweeps: int = 10) -> None:
+        self.passes = list(passes)
+        self.max_sweeps = max_sweeps
+
+    def run(self, graph: Graph) -> int:
+        """Optimize in place; returns the number of changing sweeps."""
+        sweeps = 0
+        for _ in range(self.max_sweeps):
+            changed = False
+            for graph_pass in self.passes:
+                if graph_pass(graph):
+                    changed = True
+                    graph.validate()
+            if not changed:
+                break
+            sweeps += 1
+        graph.prune_dead_tensors()
+        return sweeps
+
+
+def default_pipeline() -> PassManager:
+    """The standard GCL optimization pipeline."""
+    return PassManager(
+        [
+            fuse_pad,
+            fold_batch_norm,
+            fuse_bias_add,
+            fuse_activations,
+            constant_fold,
+            common_subexpression_elimination,
+            dead_code_elimination,
+        ]
+    )
+
+
+__all__ = [
+    "PassManager",
+    "common_subexpression_elimination",
+    "constant_fold",
+    "dead_code_elimination",
+    "default_pipeline",
+    "fold_batch_norm",
+    "fuse_activations",
+    "fuse_bias_add",
+    "fuse_pad",
+]

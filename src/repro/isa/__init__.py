@@ -1,0 +1,50 @@
+"""The Ncore instruction set: 128-bit VLIW-like instructions.
+
+Section IV-D.1 of the paper: instructions are 128 bits wide and "similar to
+VLIW"; every instruction executes in a single clock cycle, and an entire
+convolution inner loop can be encoded in one instruction that executes one
+iteration per clock (Fig. 6).  This package models that ISA:
+
+- :mod:`repro.isa.operands`    -- operand sources/sinks (RAMs, NDU regs, ...).
+- :mod:`repro.isa.instruction` -- the instruction word and its unit ops.
+- :mod:`repro.isa.encoding`    -- bit-exact 128-bit encoder/decoder.
+- :mod:`repro.isa.assembler`   -- textual assembly for the internal code
+  representation shown in Fig. 6.
+"""
+
+from repro.isa.assembler import AssemblyError, assemble, disassemble
+from repro.isa.encoding import EncodingError, decode, encode
+from repro.isa.instruction import (
+    DMAOp,
+    Instruction,
+    NDUOp,
+    NDUOpcode,
+    NPUOp,
+    NPUOpcode,
+    OutOp,
+    OutOpcode,
+    SeqOp,
+    SeqOpcode,
+)
+from repro.isa.operands import Operand, OperandKind
+
+__all__ = [
+    "AssemblyError",
+    "DMAOp",
+    "EncodingError",
+    "Instruction",
+    "NDUOp",
+    "NDUOpcode",
+    "NPUOp",
+    "NPUOpcode",
+    "Operand",
+    "OperandKind",
+    "OutOp",
+    "OutOpcode",
+    "SeqOp",
+    "SeqOpcode",
+    "assemble",
+    "decode",
+    "disassemble",
+    "encode",
+]

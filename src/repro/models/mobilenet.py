@@ -1,0 +1,55 @@
+"""MobileNet-V1 (224x224, width multiplier 1.0).
+
+The Howard et al. architecture: a full 3x3 conv followed by 13 depthwise-
+separable blocks (depthwise 3x3 + pointwise 1x1, each with batch-norm and
+ReLU6), global average pooling and a 1000-way classifier.  0.57 B MACs and
+4.2 M weights (Table V).
+"""
+
+from __future__ import annotations
+
+from repro.graph.gir import Graph
+from repro.models.common import GraphBuilder
+
+# (pointwise out_channels, depthwise stride) for the 13 blocks.
+_BLOCKS = [
+    (64, 1),
+    (128, 2),
+    (128, 1),
+    (256, 2),
+    (256, 1),
+    (512, 2),
+    (512, 1),
+    (512, 1),
+    (512, 1),
+    (512, 1),
+    (512, 1),
+    (1024, 2),
+    (1024, 1),
+]
+
+
+def build_mobilenet_v1(
+    batch: int = 1,
+    resolution: int = 224,
+    num_classes: int = 1001,
+    include_head: bool = True,
+    seed: int = 20,
+) -> Graph:
+    """Build MobileNet-V1 with synthetic weights.
+
+    ``include_head=False`` stops after the global pool (the SSD backbone
+    shares the trunk).
+    """
+    b = GraphBuilder("mobilenet_v1", seed=seed)
+    x = b.input("images", (batch, resolution, resolution, 3))
+    x = b.conv(x, 32, 3, stride=2, batch_norm=True, activation="relu6")
+    for out_channels, stride in _BLOCKS:
+        x = b.depthwise(x, 3, stride=stride, activation="relu6", batch_norm=True)
+        x = b.conv(x, out_channels, 1, batch_norm=True, activation="relu6")
+    if not include_head:
+        return b.finish([x])
+    x = b.global_mean(x)
+    logits = b.fully_connected(x, num_classes)
+    probs = b.softmax(logits)
+    return b.finish([probs])

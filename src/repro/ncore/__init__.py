@@ -1,0 +1,34 @@
+"""The Ncore coprocessor simulator.
+
+A functional and cycle-level model of the 4096-byte-wide SIMD machine from
+section IV of the paper: 16 slices of 256 bytes, 16 MB of data/weight SRAM,
+a double-buffered instruction RAM, the NDU / NPU / OUT execution pipeline,
+DMA engines, and the debug facilities (event log, performance counters,
+n-step breakpointing).
+
+This simulator plays the role the paper's own "instruction simulator ...
+golden model" played in Centaur's design methodology (section V-E).
+"""
+
+from repro.ncore.config import NcoreConfig
+from repro.ncore.debug import EventLog, EventRecord, PerfCounter
+from repro.ncore.dma import DmaDescriptor, DmaEngine, LinearMemory
+from repro.ncore.machine import ExecutionError, Ncore
+from repro.ncore.pci import NcorePciDevice
+from repro.ncore.sram import EccError, InstructionRam, RowMemory
+
+__all__ = [
+    "DmaDescriptor",
+    "DmaEngine",
+    "EccError",
+    "EventLog",
+    "EventRecord",
+    "ExecutionError",
+    "InstructionRam",
+    "LinearMemory",
+    "Ncore",
+    "NcoreConfig",
+    "NcorePciDevice",
+    "PerfCounter",
+    "RowMemory",
+]

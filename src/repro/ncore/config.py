@@ -1,0 +1,88 @@
+"""Ncore configuration parameters.
+
+All defaults are the shipped CHA configuration from the paper (sections
+III and IV).  The slice-based layout was explicitly designed so that "adding
+or removing slices alters Ncore's breadth, while increasing or decreasing
+SRAM capacity alters Ncore's height" — this dataclass exposes exactly those
+two knobs, which the ablation benchmarks sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+ROW_BYTES_PER_SLICE = 256  # each slice is 256 bytes wide (section IV-B)
+
+
+@dataclass(frozen=True)
+class NcoreConfig:
+    """Architectural parameters of one Ncore instance."""
+
+    slices: int = 16                     # 16 slices -> 4096-byte rows
+    sram_rows: int = 2048                # rows per RAM bank (2 banks/slice)
+    iram_bytes: int = 8 * 1024           # double-buffered instruction RAM
+    irom_bytes: int = 4 * 1024           # instruction ROM
+    clock_hz: float = 2.5e9              # shared CHA frequency domain
+    event_log_entries: int = 1024        # debug event buffer (section IV-F)
+    dma_window_bytes: int = 4 << 30      # DMA base-address-register window
+
+    def __post_init__(self) -> None:
+        if self.slices < 1:
+            raise ValueError("Ncore needs at least one slice")
+        if self.sram_rows < 1:
+            raise ValueError("RAMs need at least one row")
+
+    @property
+    def row_bytes(self) -> int:
+        """Width of one RAM row / the SIMD datapath, in bytes (4096)."""
+        return self.slices * ROW_BYTES_PER_SLICE
+
+    @property
+    def lanes(self) -> int:
+        """Byte-wise execution lanes (= MAC units), 4096 in CHA."""
+        return self.row_bytes
+
+    @property
+    def data_ram_bytes(self) -> int:
+        """Data RAM capacity (8 MB in CHA)."""
+        return self.sram_rows * self.row_bytes
+
+    @property
+    def weight_ram_bytes(self) -> int:
+        """Weight RAM capacity (8 MB in CHA)."""
+        return self.sram_rows * self.row_bytes
+
+    @property
+    def total_ram_bytes(self) -> int:
+        """Total Ncore RAM (16 MB in CHA)."""
+        return self.data_ram_bytes + self.weight_ram_bytes
+
+    @property
+    def iram_instructions(self) -> int:
+        """Instructions per IRAM bank (the IRAM is double buffered)."""
+        return self.iram_bytes // 2 // 16
+
+    @property
+    def irom_instructions(self) -> int:
+        return self.irom_bytes // 16
+
+    def peak_ops_per_second(self, npu_cycles: int = 1) -> float:
+        """Peak throughput in ops/sec for an op with the given issue latency.
+
+        A MAC counts as two operations (multiply + add), giving the paper's
+        20.48 TOPS for int8 (4096 lanes x 2 ops x 2.5 GHz) and 6.83 TOPS for
+        bfloat16 (3-cycle issue), matching Table II.
+        """
+        return self.lanes * 2 * self.clock_hz / npu_cycles
+
+    def sram_bandwidth_bytes_per_second(self) -> float:
+        """Aggregate internal SRAM throughput.
+
+        Both the data and weight RAM can be read every clock (one row each),
+        giving the paper's 20 TB/s figure (2 x 4096 B x 2.5 GHz).
+        """
+        return 2 * self.row_bytes * self.clock_hz
+
+
+# The shipped CHA configuration.
+CHA_NCORE = NcoreConfig()

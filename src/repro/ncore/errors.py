@@ -1,0 +1,6 @@
+"""Shared exception types for the Ncore simulator."""
+
+
+class ExecutionError(Exception):
+    """Raised when a program exercises undefined machine behaviour
+    (invalid operand sourcing, unconfigured facilities, nesting limits)."""

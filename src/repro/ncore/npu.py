@@ -1,0 +1,120 @@
+"""The Neural Processing Unit (NPU): the 4096-lane arithmetic array.
+
+Section IV-D.4: MACs, additions, subtractions, min/max, logical operations;
+optional conversion of unsigned 8-bit values to signed 9-bit by subtracting
+a zero offset (separate offsets for data and weights); a 32-bit saturating
+accumulator conditionally set via predication; data forwarding to the
+adjacent slice's NPU with wraparound ("slide").
+
+These are pure functions over integer lane arrays; bf16 lanes use a
+float32 accumulator (hardware floating-point MACs keep a wide accumulator,
+modelled here as IEEE float32).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dtypes import ACC_MAX, ACC_MIN
+from repro.isa.instruction import NPUOp, NPUOpcode
+from repro.ncore.errors import ExecutionError
+
+SLICE_LANES = 256  # lanes per slice; the granularity of neighbour forwarding
+
+
+def slide_from_neighbor(lanes: np.ndarray) -> np.ndarray:
+    """Forward each slice's data to the next slice, wrapping last -> first.
+
+    Lane *l* receives the value lane *l - 256* held, so data "slides"
+    across all 4,096 byte-wise execution elements over successive cycles.
+    """
+    return np.roll(lanes, SLICE_LANES)
+
+
+def _combine_int(opcode: NPUOpcode, data: np.ndarray, weight: np.ndarray) -> np.ndarray:
+    data = data.astype(np.int64)
+    weight = weight.astype(np.int64)
+    if opcode is NPUOpcode.MAC:
+        return data * weight
+    if opcode is NPUOpcode.ADD:
+        return data + weight
+    if opcode is NPUOpcode.SUB:
+        return data - weight
+    if opcode is NPUOpcode.MIN:
+        return np.minimum(data, weight)
+    if opcode is NPUOpcode.MAX:
+        return np.maximum(data, weight)
+    if opcode is NPUOpcode.AND:
+        return data & weight
+    if opcode is NPUOpcode.OR:
+        return data | weight
+    if opcode is NPUOpcode.XOR:
+        return data ^ weight
+    raise ValueError(f"not an integer ALU opcode: {opcode}")
+
+
+def execute_int(
+    op: NPUOp,
+    data: np.ndarray,
+    weight: np.ndarray,
+    acc: np.ndarray,
+    predicate_mask: np.ndarray | None,
+) -> np.ndarray:
+    """One integer NPU operation; returns the new accumulator.
+
+    ``data``/``weight`` are already sign-interpreted int32 lane arrays with
+    zero offsets and the data pre-shift applied.  MIN/MAX accumulate by
+    folding against the accumulator (the pooling idiom); arithmetic ops
+    accumulate by saturating addition; logical ops replace.
+    """
+    combined = _combine_int(op.opcode, data, weight)
+    if not op.accumulate or op.opcode in (NPUOpcode.AND, NPUOpcode.OR, NPUOpcode.XOR):
+        new_acc = np.clip(combined, ACC_MIN, ACC_MAX)
+    elif op.opcode is NPUOpcode.MIN:
+        new_acc = np.minimum(acc.astype(np.int64), combined)
+    elif op.opcode is NPUOpcode.MAX:
+        new_acc = np.maximum(acc.astype(np.int64), combined)
+    else:
+        new_acc = np.clip(acc.astype(np.int64) + combined, ACC_MIN, ACC_MAX)
+    new_acc = new_acc.astype(np.int32)
+    if predicate_mask is not None:
+        new_acc = np.where(predicate_mask, new_acc, acc)
+    return new_acc
+
+
+def execute_float(
+    op: NPUOp,
+    data: np.ndarray,
+    weight: np.ndarray,
+    acc: np.ndarray,
+    predicate_mask: np.ndarray | None,
+) -> np.ndarray:
+    """One bfloat16 NPU operation on the float32 accumulator."""
+    if op.opcode is NPUOpcode.MAC:
+        combined = data * weight
+    elif op.opcode is NPUOpcode.ADD:
+        combined = data + weight
+    elif op.opcode is NPUOpcode.SUB:
+        combined = data - weight
+    elif op.opcode is NPUOpcode.MIN:
+        combined = np.minimum(data, weight)
+    elif op.opcode is NPUOpcode.MAX:
+        combined = np.maximum(data, weight)
+    else:
+        raise ExecutionError(f"opcode {op.opcode} is not defined for bf16 lanes")
+    if not op.accumulate:
+        new_acc = combined.astype(np.float32)
+    elif op.opcode is NPUOpcode.MIN:
+        new_acc = np.minimum(acc, combined).astype(np.float32)
+    elif op.opcode is NPUOpcode.MAX:
+        new_acc = np.maximum(acc, combined).astype(np.float32)
+    else:
+        new_acc = (acc + combined).astype(np.float32)
+    if predicate_mask is not None:
+        new_acc = np.where(predicate_mask, new_acc, acc).astype(np.float32)
+    return new_acc
+
+
+def compare_gt(data: np.ndarray, weight: np.ndarray) -> np.ndarray:
+    """CMPGT: compute the per-lane predicate ``data > weight``."""
+    return data > weight

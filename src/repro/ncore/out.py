@@ -1,0 +1,119 @@
+"""The OUT unit: requantization, activations and result stores.
+
+Section IV-D.5: requantization of the 32-bit accumulator to 8/16-bit types
+"by multiplying the accumulator with a range value, shifting the result
+left or right based on a scale value, and adding an offset value"; plus
+activations (ReLU, tanh, sigmoid) and storing different transformations of
+the accumulator.
+
+The range/scale/offset values are *per-lane* configuration registers so
+that per-output-channel quantization parameters can be applied in one
+pass (channels are laid out across lanes by the NKL).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dtypes import ACC_MAX, ACC_MIN, NcoreDType, dtype_info, to_bfloat16
+from repro.isa.instruction import Activation
+from repro.ncore.errors import ExecutionError
+
+
+def requantize_lanes(
+    acc: np.ndarray,
+    multiplier: np.ndarray,
+    shift: np.ndarray,
+    offset: np.ndarray,
+    dtype: NcoreDType,
+) -> np.ndarray:
+    """Vectorised per-lane requantization (gemmlowp-compatible).
+
+    Behaves exactly like :func:`repro.dtypes.requantize` but with per-lane
+    multiplier / shift / offset arrays.  Returns int32 lanes saturated to
+    the target type's range (not yet narrowed to bytes).
+    """
+    acc = acc.astype(np.int64)
+    left = np.maximum(-shift, 0).astype(np.int64)
+    right = np.maximum(shift, 0).astype(np.int64)
+    acc = np.clip(acc << left, ACC_MIN, ACC_MAX)
+    # SaturatingRoundingDoublingHighMul with truncation toward zero.
+    prod = acc * multiplier.astype(np.int64)
+    nudge = np.where(prod >= 0, np.int64(1 << 30), np.int64(1 - (1 << 30)))
+    total = prod + nudge
+    magnitude = np.abs(total) >> np.int64(31)
+    scaled = np.clip(np.where(total >= 0, magnitude, -magnitude), ACC_MIN, ACC_MAX)
+    # RoundingDivideByPOT (round half away from zero) by per-lane shift.
+    mask = (np.int64(1) << right) - 1
+    remainder = scaled & mask
+    threshold = (mask >> 1) + (scaled < 0).astype(np.int64)
+    shifted = (scaled >> right) + (remainder > threshold).astype(np.int64)
+    info = dtype_info(dtype)
+    result = np.clip(shifted + offset.astype(np.int64), info.min_value, info.max_value)
+    return result.astype(np.int32)
+
+
+def apply_integer_activation(
+    values: np.ndarray,
+    activation: Activation,
+    zero_point: np.ndarray,
+    act_qmax: int,
+    lut: np.ndarray | None,
+    dtype: NcoreDType,
+) -> np.ndarray:
+    """Apply an activation in the quantized domain.
+
+    ReLU clamps at the per-lane output zero point; ReLU6 additionally
+    clamps at the configured upper code ``act_qmax``.  tanh and sigmoid
+    index a 256-entry lookup table loaded by the runtime (the standard way
+    fixed-function hardware evaluates them).
+    """
+    if activation is Activation.NONE:
+        return values
+    if activation is Activation.RELU:
+        return np.maximum(values, zero_point)
+    if activation is Activation.RELU6:
+        return np.clip(values, zero_point, act_qmax)
+    if lut is None:
+        raise ExecutionError(f"{activation.value} requires an activation LUT")
+    info = dtype_info(dtype)
+    if info.bytes_per_element != 1:
+        raise ExecutionError("LUT activations are defined for 8-bit outputs only")
+    index = (values - int(info.min_value)).astype(np.int64)  # 0..255
+    return lut[index].astype(np.int32)
+
+
+def narrow_to_rows(values: np.ndarray, dtype: NcoreDType) -> tuple[np.ndarray, np.ndarray]:
+    """Split requantized int32 lanes into (low, high) byte rows.
+
+    8-bit outputs fill only the low row; 16-bit outputs split into low and
+    high byte rows, matching the RAM layout of 16-bit data (section
+    IV-C.2).
+    """
+    info = dtype_info(dtype)
+    narrowed = values.astype(info.numpy_dtype)
+    if info.bytes_per_element == 1:
+        low = narrowed.view(np.uint8)
+        return low.copy(), np.zeros_like(low)
+    raw = narrowed.view(np.uint8).reshape(-1, 2)
+    return raw[:, 0].copy(), raw[:, 1].copy()
+
+
+def float_output_rows(
+    acc: np.ndarray, scale: float, activation: Activation
+) -> tuple[np.ndarray, np.ndarray]:
+    """bf16 output path: scale, activate, round to bf16, split into rows."""
+    values = acc.astype(np.float32) * np.float32(scale)
+    if activation is Activation.RELU:
+        values = np.maximum(values, 0.0)
+    elif activation is Activation.RELU6:
+        values = np.clip(values, 0.0, 6.0)
+    elif activation is Activation.TANH:
+        values = np.tanh(values)
+    elif activation is Activation.SIGMOID:
+        values = 1.0 / (1.0 + np.exp(-values))
+    rounded = to_bfloat16(values.astype(np.float32))
+    bits = np.ascontiguousarray(rounded).view(np.uint32) >> np.uint32(16)
+    low = (bits & np.uint32(0xFF)).astype(np.uint8)
+    high = (bits >> np.uint32(8)).astype(np.uint8)
+    return low, high

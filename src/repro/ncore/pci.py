@@ -1,0 +1,105 @@
+"""Ncore's PCI device personality.
+
+Section IV-A and V-D: Ncore sits on the ring bus but "reports itself to the
+system as a standard PCI device" of coprocessor type, detected through
+normal PCI enumeration.  Protected settings — DMA address ranges, power —
+live as custom fields in PCI configuration space, which only kernel code
+may access; everything else is reached through memory-mapped BARs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+# VIA Technologies' vendor id; Centaur was VIA's x86 design subsidiary.
+VENDOR_ID = 0x1106
+DEVICE_ID = 0x9C20  # model-chosen device id for the Ncore function
+CLASS_COPROCESSOR = 0x0B40  # class 0x0B (processor), subclass 0x40 (co-proc)
+
+# Offsets of the custom protected fields in config space (capability area).
+_CFG_POWER = 0x40
+_CFG_DMA_BASE_LO = 0x44
+_CFG_DMA_BASE_HI = 0x48
+
+
+class PciAccessError(PermissionError):
+    """A user-mode access touched kernel-only configuration space."""
+
+
+@dataclass
+class Bar:
+    """One PCI base address register (a memory-mapped window)."""
+
+    index: int
+    size: int
+    description: str
+    address: int | None = None  # assigned at enumeration
+
+
+class NcorePciDevice:
+    """The PCI configuration-space model for Ncore.
+
+    The BARs expose (0) the control/status register block, (1) the
+    instruction RAM, and (2) the data/weight SRAM aperture.  The custom
+    config-space fields gate power state and the DMA window base — the
+    settings the kernel driver is "the sole gatekeeper" for.
+    """
+
+    def __init__(self, sram_bytes: int) -> None:
+        self.vendor_id = VENDOR_ID
+        self.device_id = DEVICE_ID
+        self.class_code = CLASS_COPROCESSOR
+        self.bars = [
+            Bar(0, 64 * 1024, "control and status registers"),
+            Bar(1, 16 * 1024, "instruction RAM window"),
+            Bar(2, sram_bytes, "data/weight SRAM aperture"),
+        ]
+        self.powered_on = False
+        self.dma_window_base = 0
+
+    def assign_bars(self, base_address: int) -> int:
+        """Enumeration-time BAR assignment; returns the next free address."""
+        address = base_address
+        for bar in self.bars:
+            # PCI BARs are naturally aligned to their size.
+            if address % bar.size:
+                address += bar.size - (address % bar.size)
+            bar.address = address
+            address += bar.size
+        return address
+
+    def config_read(self, offset: int) -> int:
+        """Config-space read (kernel or user; reads are unprivileged)."""
+        if offset == 0x00:
+            return self.vendor_id | (self.device_id << 16)
+        if offset == 0x08:
+            return self.class_code << 16
+        if offset == _CFG_POWER:
+            return int(self.powered_on)
+        if offset == _CFG_DMA_BASE_LO:
+            return self.dma_window_base & 0xFFFFFFFF
+        if offset == _CFG_DMA_BASE_HI:
+            return self.dma_window_base >> 32
+        return 0
+
+    def config_write(self, offset: int, value: int, kernel_mode: bool) -> None:
+        """Config-space write; protected fields require kernel mode."""
+        if offset in (_CFG_POWER, _CFG_DMA_BASE_LO, _CFG_DMA_BASE_HI) and not kernel_mode:
+            raise PciAccessError(
+                "protected Ncore configuration fields are only accessible from "
+                "system kernel code (section V-D)"
+            )
+        if offset == _CFG_POWER:
+            self.powered_on = bool(value & 1)
+        elif offset == _CFG_DMA_BASE_LO:
+            self.dma_window_base = (self.dma_window_base & ~0xFFFFFFFF) | (
+                value & 0xFFFFFFFF
+            )
+        elif offset == _CFG_DMA_BASE_HI:
+            self.dma_window_base = (self.dma_window_base & 0xFFFFFFFF) | (value << 32)
+        # writes to other offsets are ignored, as on real hardware
+
+    @property
+    def is_coprocessor(self) -> bool:
+        """True when the class code marks this device as a coprocessor."""
+        return (self.class_code >> 8) == 0x0B and (self.class_code & 0xFF) == 0x40

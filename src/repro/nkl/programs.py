@@ -1,0 +1,710 @@
+"""Instruction-program emission for representative kernels.
+
+These builders emit *real* Ncore instruction programs for the W x K mapping
+(Fig. 6 / Fig. 7) and the data-layout helpers that tile tensors into
+4096-byte rows.  They are executed on the instruction-level simulator in
+tests and examples and checked bit-exactly against the numpy quantized
+reference — proving that the NKL's schedules are implementable in the ISA,
+not just countable.
+
+Layout convention (the "internal data layout optimized for Ncore"):
+
+- A 4096-byte row is 64 broadcast groups of 64 lanes.
+- *Data rows*: one row per input channel c; the 64-byte spatial tile of
+  channel c is repeated across all 64 groups (periodic tiling is what lets
+  a full-row rotation slide the spatial window for every output channel at
+  once, as in Fig. 6).
+- *Weight rows*: byte (g * 64 + idx) of a weight row holds the weight for
+  output channel g at reduction index idx; ``broadcast64`` walks idx.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dtypes import ChannelQuantParams, QuantParams, quantize_multiplier
+from repro.isa import Instruction, assemble
+from repro.ncore import Ncore
+from repro.nkl.schedule import BROADCAST_GROUP
+
+ROW_BYTES = 4096
+GROUPS = ROW_BYTES // BROADCAST_GROUP  # 64 groups per row
+
+
+class ProgramShapeError(ValueError):
+    """The shape does not fit this program template's constraints."""
+
+
+def _configure_activation(machine: Ncore, activation: str, output_qp: QuantParams) -> str:
+    """Program the activation-related config registers; returns the
+    assembly suffix for the requant statement."""
+    if activation == "relu6":
+        from repro.dtypes import quantize
+
+        machine.set_act_qmax(int(quantize(np.array(6.0), output_qp)))
+    return {"none": "", "relu": " relu", "relu6": " relu6"}[activation]
+
+
+def tile_data_row(values: np.ndarray) -> np.ndarray:
+    """Tile up to 64 spatial values of one channel across all 64 groups."""
+    values = np.asarray(values, dtype=np.uint8)
+    if values.size > BROADCAST_GROUP:
+        raise ProgramShapeError("a data row tiles at most 64 spatial positions")
+    tile = np.zeros(BROADCAST_GROUP, dtype=np.uint8)
+    tile[: values.size] = values
+    return np.tile(tile, GROUPS)
+
+
+def pack_weight_row(weights: np.ndarray) -> np.ndarray:
+    """Pack a (out_channels<=64, reduction<=64) weight block into one row."""
+    weights = np.asarray(weights, dtype=np.uint8)
+    if weights.ndim != 2 or weights.shape[0] > GROUPS or weights.shape[1] > BROADCAST_GROUP:
+        raise ProgramShapeError("weight blocks are at most 64 x 64 per row")
+    row = np.zeros(ROW_BYTES, dtype=np.uint8)
+    k, c = weights.shape
+    for g in range(k):
+        row[g * BROADCAST_GROUP : g * BROADCAST_GROUP + c] = weights[g]
+    return row
+
+
+@dataclass
+class WkPassResult:
+    """Where a W x K pass left its results."""
+
+    output_row: int
+    spatial: int
+    out_channels: int
+
+    def read(self, machine: Ncore) -> np.ndarray:
+        """Read back the (spatial, out_channels) result tile."""
+        row = np.frombuffer(
+            machine.read_data_ram(self.output_row * ROW_BYTES, ROW_BYTES), np.uint8
+        )
+        out = np.empty((self.spatial, self.out_channels), dtype=np.uint8)
+        for k in range(self.out_channels):
+            out[:, k] = row[k * BROADCAST_GROUP : k * BROADCAST_GROUP + self.spatial]
+        return out
+
+
+def emit_matmul_program(
+    machine: Ncore,
+    data: np.ndarray,
+    weights: np.ndarray,
+    input_qp: QuantParams,
+    weight_qp: QuantParams,
+    output_qp: QuantParams,
+    activation: str = "none",
+    data_row_base: int = 0,
+    weight_row_base: int = 0,
+    output_row: int = 64,
+) -> tuple[list[Instruction], WkPassResult]:
+    """Lay out and emit a quantized matmul (M<=64, C<=2048, N<=64).
+
+    ``data`` is the quantized (M, C) activation matrix, ``weights`` the
+    quantized (C, N) matrix.  Each reduction step c is one fused
+    (bypass + broadcast64 + MAC) instruction — one clock per c, exactly the
+    Fig. 6 inner-loop form.  Zero offsets and the requantization config are
+    programmed through the slave interface, as the runtime does.
+    """
+    m, c = data.shape
+    c2, n = weights.shape
+    if c != c2:
+        raise ProgramShapeError("matmul reduction dims disagree")
+    if m > BROADCAST_GROUP or n > GROUPS:
+        raise ProgramShapeError("one pass handles at most 64 rows x 64 columns")
+    if c > machine.config.sram_rows - data_row_base:
+        raise ProgramShapeError("reduction depth exceeds data RAM rows")
+    # Stage data: one row per reduction index c, M values tiled.
+    for ci in range(c):
+        machine.write_data_ram(
+            (data_row_base + ci) * ROW_BYTES, tile_data_row(data[:, ci]).tobytes()
+        )
+    # Stage weights: weight rows pack (N x 64) reduction slices.
+    weight_rows = -(-c // BROADCAST_GROUP)
+    wt = np.zeros((weight_rows, ROW_BYTES), dtype=np.uint8)
+    for ci in range(c):
+        row, idx = divmod(ci, BROADCAST_GROUP)
+        for g in range(n):
+            wt[row, g * BROADCAST_GROUP + idx] = weights[ci, g]
+    for r in range(weight_rows):
+        machine.write_weight_ram((weight_row_base + r) * ROW_BYTES, wt[r].tobytes())
+    # Requantization config: M = s_in * s_w / s_out.  Per-channel weight
+    # parameters program the per-lane registers: lane (g*64 + m) carries
+    # output column g's multiplier/shift (section IV-D.5's per-lane
+    # range/scale/offset).
+    if isinstance(weight_qp, ChannelQuantParams):
+        if weight_qp.axis != 1 or weight_qp.num_channels != n:
+            raise ProgramShapeError("per-channel params must cover the N axis")
+        if len(set(weight_qp.zero_points)) != 1:
+            raise ProgramShapeError(
+                "the scalar weight zero-offset register needs one shared zero point"
+            )
+        lanes = machine.config.lanes
+        mults = np.full(lanes, 1 << 30, dtype=np.int64)
+        shifts = np.full(lanes, -1, dtype=np.int64)
+        for g, scale in enumerate(weight_qp.scales):
+            m_g, s_g = quantize_multiplier(
+                input_qp.scale * scale / output_qp.scale
+            )
+            mults[g * BROADCAST_GROUP : (g + 1) * BROADCAST_GROUP] = m_g
+            shifts[g * BROADCAST_GROUP : (g + 1) * BROADCAST_GROUP] = s_g
+        machine.set_requant(mults, shifts, output_qp.zero_point)
+        weight_zero = weight_qp.zero_points[0]
+    else:
+        mult, shift = quantize_multiplier(
+            input_qp.scale * weight_qp.scale / output_qp.scale
+        )
+        machine.set_requant(mult, shift, output_qp.zero_point)
+        weight_zero = weight_qp.zero_point
+    machine.set_zero_offsets(data=input_qp.zero_point, weight=weight_zero)
+    act = _configure_activation(machine, activation, output_qp)
+    lines = [f"setaddr a0, {data_row_base}", "setaddr a5, 0"]
+    # One fused instruction per 64-deep reduction chunk.
+    for r in range(weight_rows):
+        chunk = min(BROADCAST_GROUP, c - r * BROADCAST_GROUP)
+        lines += [
+            f"setaddr a3, {weight_row_base + r}",
+            "setaddr a5, 0",
+            f"loop {chunk} {{",
+            "  bypass n0, dram[a0++]",
+            "  broadcast64 n1, wtram[a3], a5, inc",
+            "  mac.uint8 n0, n1, zoff",
+            "}",
+        ]
+    lines += [
+        f"setaddr a6, {output_row}",
+        f"requant.uint8{act}",
+        "store a6",
+        "halt",
+    ]
+    return assemble("\n".join(lines)), WkPassResult(output_row, m, n)
+
+
+def emit_conv1d_rotate_program(
+    machine: Ncore,
+    data: np.ndarray,
+    weights: np.ndarray,
+    input_qp: QuantParams,
+    weight_qp: QuantParams,
+    output_qp: QuantParams,
+    output_row: int = 64,
+) -> tuple[list[Instruction], WkPassResult]:
+    """A 1-D convolution using the Fig. 6 rotate idiom.
+
+    ``data`` is (W + taps - 1,) quantized samples of one channel (already
+    including the halo), ``weights`` is (out_channels <= 64, taps <= 64).
+    Each tap is one fused (broadcast + MAC dlast + rotate) instruction,
+    with the rotation sliding the input window under every accumulator
+    group simultaneously — the exact inner loop of Fig. 6.
+    """
+    k, taps = weights.shape
+    w_out = data.size - taps + 1
+    if w_out < 1 or data.size > BROADCAST_GROUP:
+        raise ProgramShapeError("the halo'd input must fit one 64-lane tile")
+    if k > GROUPS:
+        raise ProgramShapeError("at most 64 output channels per pass")
+    machine.write_data_ram(0, tile_data_row(data).tobytes())
+    machine.write_weight_ram(0, pack_weight_row(weights).tobytes())
+    mult, shift = quantize_multiplier(
+        input_qp.scale * weight_qp.scale / output_qp.scale
+    )
+    machine.set_zero_offsets(data=input_qp.zero_point, weight=weight_qp.zero_point)
+    machine.set_requant(mult, shift, output_qp.zero_point)
+    source = f"""
+    setaddr a0, 0
+    setaddr a3, 0
+    setaddr a5, 0
+    bypass n0, dram[a0]        ; latch the input tile (arms dlast)
+    loop {taps} {{
+      broadcast64 n1, wtram[a3], a5, inc
+      mac.uint8 dlast, n1, zoff
+      rotl n0, n0, 1
+    }}
+    setaddr a6, {output_row}
+    requant.uint8
+    store a6
+    halt
+    """
+    return assemble(source), WkPassResult(output_row, w_out, k)
+
+
+def reference_matmul_uint8(
+    data: np.ndarray,
+    weights: np.ndarray,
+    input_qp: QuantParams,
+    weight_qp: QuantParams,
+    output_qp: QuantParams,
+    activation: str = "none",
+) -> np.ndarray:
+    """The numpy golden model for the quantized matmul pass."""
+    from repro.dtypes import requantize
+
+    acc = (data.astype(np.int64) - input_qp.zero_point) @ (
+        weights.astype(np.int64) - weight_qp.zero_point
+    )
+    mult, shift = quantize_multiplier(
+        input_qp.scale * weight_qp.scale / output_qp.scale
+    )
+    out = requantize(
+        acc.astype(np.int64).clip(-(2**31), 2**31 - 1).astype(np.int32),
+        mult,
+        shift,
+        output_qp.zero_point,
+        output_qp.dtype,
+    )
+    if activation == "relu":
+        out = np.maximum(out, output_qp.zero_point)
+    return out
+
+
+@dataclass
+class TiledMatmulResult:
+    """Result placement of a multi-pass (tiled) matmul."""
+
+    tiles: list[tuple[int, int, WkPassResult]]  # (m_base, n_base, pass)
+    rows_total: int
+    cols_total: int
+
+    def read(self, machine: Ncore) -> np.ndarray:
+        out = np.zeros((self.rows_total, self.cols_total), dtype=np.uint8)
+        for m_base, n_base, tile in self.tiles:
+            block = tile.read(machine)
+            out[m_base : m_base + tile.spatial, n_base : n_base + tile.out_channels] = block
+        return out
+
+
+def emit_tiled_matmul_program(
+    machine: Ncore,
+    data: np.ndarray,
+    weights: np.ndarray,
+    input_qp: QuantParams,
+    weight_qp: QuantParams,
+    output_qp: QuantParams,
+    activation: str = "none",
+) -> tuple[list[Instruction], TiledMatmulResult]:
+    """A full quantized matmul of arbitrary (M, C, N) via 64x64 passes.
+
+    The W x K template handles one 64-row x 64-column tile per pass
+    (Fig. 7); larger problems tile the output space, exactly how the NKL's
+    channel/spatial passes cover a convolution.  Data rows for the tiles
+    share the per-c staging; weight rows are packed per n-tile.
+    """
+    m, c = data.shape
+    c2, n = weights.shape
+    if c != c2:
+        raise ProgramShapeError("matmul reduction dims disagree")
+    weight_rows_per_tile = -(-c // BROADCAST_GROUP)
+    m_tiles = -(-m // BROADCAST_GROUP)
+    n_tiles = -(-n // GROUPS)
+    data_rows_per_tile = c
+    needed_rows = m_tiles * data_rows_per_tile + m_tiles * n_tiles  # data + outputs
+    if needed_rows > machine.config.sram_rows:
+        raise ProgramShapeError("problem exceeds the data RAM")
+    # Stage data: per m-tile, one row per reduction index.
+    for mt in range(m_tiles):
+        chunk = data[mt * BROADCAST_GROUP : (mt + 1) * BROADCAST_GROUP]
+        for ci in range(c):
+            machine.write_data_ram(
+                (mt * c + ci) * ROW_BYTES, tile_data_row(chunk[:, ci]).tobytes()
+            )
+    # Stage weights: per n-tile, packed reduction slices.
+    for nt in range(n_tiles):
+        cols = weights[:, nt * GROUPS : (nt + 1) * GROUPS]
+        wt = np.zeros((weight_rows_per_tile, ROW_BYTES), dtype=np.uint8)
+        for ci in range(c):
+            row, idx = divmod(ci, BROADCAST_GROUP)
+            for g in range(cols.shape[1]):
+                wt[row, g * BROADCAST_GROUP + idx] = cols[ci, g]
+        for r in range(weight_rows_per_tile):
+            machine.write_weight_ram(
+                (nt * weight_rows_per_tile + r) * ROW_BYTES, wt[r].tobytes()
+            )
+    mult, shift = quantize_multiplier(
+        input_qp.scale * weight_qp.scale / output_qp.scale
+    )
+    machine.set_zero_offsets(data=input_qp.zero_point, weight=weight_qp.zero_point)
+    machine.set_requant(mult, shift, output_qp.zero_point)
+    act = _configure_activation(machine, activation, output_qp)
+    output_base = m_tiles * c
+    lines: list[str] = []
+    tiles: list[tuple[int, int, WkPassResult]] = []
+    out_row = output_base
+    for mt in range(m_tiles):
+        m_size = min(BROADCAST_GROUP, m - mt * BROADCAST_GROUP)
+        for nt in range(n_tiles):
+            n_size = min(GROUPS, n - nt * GROUPS)
+            # Zero the accumulators by a non-accumulating MAC with zero.
+            lines.append("mac.uint8 zero, zero, noacc")
+            lines.append(f"setaddr a0, {mt * c}")
+            for r in range(weight_rows_per_tile):
+                chunk = min(BROADCAST_GROUP, c - r * BROADCAST_GROUP)
+                lines += [
+                    f"setaddr a3, {nt * weight_rows_per_tile + r}",
+                    "setaddr a5, 0",
+                    f"loop {chunk} {{",
+                    "  bypass n0, dram[a0++]",
+                    "  broadcast64 n1, wtram[a3], a5, inc",
+                    "  mac.uint8 n0, n1, zoff",
+                    "}",
+                ]
+            lines += [
+                f"setaddr a6, {out_row}",
+                f"requant.uint8{act}",
+                "store a6",
+            ]
+            tiles.append(
+                (mt * BROADCAST_GROUP, nt * GROUPS, WkPassResult(out_row, m_size, n_size))
+            )
+            out_row += 1
+    lines.append("halt")
+    return assemble("\n".join(lines)), TiledMatmulResult(tiles, m, n)
+
+
+def emit_max_pool_rows_program(
+    machine: Ncore,
+    rows: np.ndarray,
+    output_row: int | None = None,
+) -> tuple[list[Instruction], int]:
+    """Row-wise max reduction: out[j] = max_i rows[i][j].
+
+    The pooling idiom on the NPU: MAX folds each streamed row against the
+    accumulator (section IV-D.4 lists min/max among the NPU operations).
+    Returns the program and the output row index.
+    """
+    rows = np.asarray(rows, dtype=np.uint8)
+    count, width = rows.shape
+    if width != ROW_BYTES:
+        raise ProgramShapeError("pooling rows must be full 4096-byte rows")
+    if output_row is None:
+        output_row = count + 1
+    for i in range(count):
+        machine.write_data_ram(i * ROW_BYTES, rows[i].tobytes())
+    machine.set_requant(1 << 30, -1, 0)  # identity requant
+    source = f"""
+    setaddr a0, 0
+    mac.uint8 zero, zero, noacc     ; clear accumulators
+    loop {count} {{
+      max.uint8 dram[a0++], zero
+    }}
+    setaddr a6, {output_row}
+    requant.uint8
+    store a6
+    halt
+    """
+    return assemble(source), output_row
+
+
+def emit_elementwise_add_program(
+    machine: Ncore,
+    a: np.ndarray,
+    b: np.ndarray,
+    qp: QuantParams,
+    output_qp: QuantParams,
+    output_row: int = 4,
+) -> tuple[list[Instruction], int]:
+    """Quantized elementwise add of two rows sharing one scale.
+
+    acc = (a - z) + (b - z), then requantized to the output parameters —
+    the residual-add kernel for the common case where the compiler has
+    already requantized both inputs to a common scale.
+    """
+    a = np.asarray(a, dtype=np.uint8)
+    b = np.asarray(b, dtype=np.uint8)
+    if a.shape != (ROW_BYTES,) or b.shape != (ROW_BYTES,):
+        raise ProgramShapeError("elementwise rows must be full 4096-byte rows")
+    machine.write_data_ram(0, a.tobytes())
+    machine.write_weight_ram(0, b.tobytes())
+    mult, shift = quantize_multiplier(qp.scale / output_qp.scale)
+    machine.set_zero_offsets(data=qp.zero_point, weight=qp.zero_point)
+    machine.set_requant(mult, shift, output_qp.zero_point)
+    source = f"""
+    add.uint8 dram[a0], wtram[a1], noacc, zoff
+    setaddr a6, {output_row}
+    requant.uint8
+    store a6
+    halt
+    """
+    return assemble(source), output_row
+
+
+@dataclass
+class Conv2dResult:
+    """Result placement of a small 2-D convolution."""
+
+    output_base: int
+    h_out: int
+    w_out: int
+    out_channels: int
+
+    def read(self, machine: Ncore) -> np.ndarray:
+        out = np.empty((1, self.h_out, self.w_out, self.out_channels), dtype=np.uint8)
+        for y in range(self.h_out):
+            row = np.frombuffer(
+                machine.read_data_ram((self.output_base + y) * ROW_BYTES, ROW_BYTES),
+                np.uint8,
+            )
+            for k in range(self.out_channels):
+                out[0, y, :, k] = row[k * BROADCAST_GROUP : k * BROADCAST_GROUP + self.w_out]
+        return out
+
+
+def emit_conv2d_program(
+    machine: Ncore,
+    x: np.ndarray,
+    weights: np.ndarray,
+    input_qp: QuantParams,
+    weight_qp: QuantParams,
+    output_qp: QuantParams,
+    padding: tuple = ((0, 0), (0, 0)),
+    stride: tuple = (1, 1),
+    activation: str = "none",
+) -> tuple[list[Instruction], Conv2dResult]:
+    """A full 2-D quantized convolution (stride 1 or 2) on the W x K mapping.
+
+    Combines both Fig. 6 idioms: per (filter_y, in_channel, x-phase) the
+    input tile is latched once, then each filter_x tap in that phase is one
+    fused (broadcast64 + MAC dlast + rotate) instruction; the accumulators
+    integrate across all (filter_y, in_channel) pairs before one
+    requantize + store per output row.
+
+    Strided convolutions stage *phase tiles* — the GCL's "data and code
+    transformations such that the vector loads and stores operate on
+    contiguous rows" (section IV-E): phase p holds input columns
+    p, p+sw, p+2*sw, ...; tap s then reads phase (s % sw) rotated by
+    (s // sw), so the inner loop keeps its one-clock-per-tap form.
+
+    Constraints of this single-pass template: output width <= 64,
+    kh * kw * cin <= 64 (the weight row indexes all taps of one output
+    channel), out_channels <= 64.  Larger shapes tile across passes (see
+    the schedule model); this template is the per-pass ground truth the
+    cycle counts are built on.
+    """
+    kh, kw, cin, cout = weights.shape
+    (pt, pb), (pl, pr) = padding
+    sh, sw = stride
+    if sh != sw or sh not in (1, 2):
+        raise ProgramShapeError("this template supports stride 1 or 2")
+    n, h, w, _ = x.shape
+    if n != 1:
+        raise ProgramShapeError("this template runs one image per pass")
+    w_pad = w + pl + pr
+    h_pad = h + pt + pb
+    h_out, w_out = (h_pad - kh) // sh + 1, (w_pad - kw) // sw + 1
+    # Each phase tile holds w_out + the rotation reach for its taps.
+    tile_reach = w_out + (kw - 1) // sw
+    if tile_reach > BROADCAST_GROUP:
+        raise ProgramShapeError("output width must fit one 64-lane tile")
+    if kh * kw * cin > BROADCAST_GROUP:
+        raise ProgramShapeError("kh * kw * cin must fit one weight index range")
+    if cout > GROUPS:
+        raise ProgramShapeError("at most 64 output channels per pass")
+    # Stage padded input as phase tiles: one row per (y, c, phase).
+    zp = input_qp.zero_point & 0xFF
+    padded = np.full((h_pad, w_pad, cin), zp, dtype=np.uint8)
+    padded[pt : pt + h, pl : pl + w, :] = x[0]
+    def data_row(y, c, phase):
+        return (y * cin + c) * sw + phase
+    for y in range(h_pad):
+        for c in range(cin):
+            for phase in range(sw):
+                tile = np.full(BROADCAST_GROUP, zp, dtype=np.uint8)
+                cols = padded[y, phase::sw, c]
+                tile[: min(cols.size, BROADCAST_GROUP)] = cols[:BROADCAST_GROUP]
+                machine.write_data_ram(
+                    data_row(y, c, phase) * ROW_BYTES,
+                    np.tile(tile, GROUPS).tobytes(),
+                )
+    # Stage weights in the exact order the broadcast index walks them:
+    # (filter_y, in_channel, phase, taps within the phase ascending).
+    tap_order: list[tuple[int, int, int]] = []  # (r, c, s)
+    for r in range(kh):
+        for c in range(cin):
+            for phase in range(sw):
+                for s_tap in range(phase, kw, sw):
+                    tap_order.append((r, c, s_tap))
+    wrow = np.zeros(ROW_BYTES, dtype=np.uint8)
+    for k in range(cout):
+        for idx, (r, c, s_tap) in enumerate(tap_order):
+            wrow[k * BROADCAST_GROUP + idx] = weights[r, s_tap, c, k]
+    machine.write_weight_ram(0, wrow.tobytes())
+    mult, shift = quantize_multiplier(
+        input_qp.scale * weight_qp.scale / output_qp.scale
+    )
+    machine.set_zero_offsets(data=input_qp.zero_point, weight=weight_qp.zero_point)
+    machine.set_requant(mult, shift, output_qp.zero_point)
+    act = _configure_activation(machine, activation, output_qp)
+    output_base = h_pad * cin * sw
+    lines = ["setaddr a3, 0"]
+    for y in range(h_out):
+        lines.append("mac.uint8 zero, zero, noacc   ; clear accumulators")
+        lines.append("setaddr a5, 0")
+        for r in range(kh):
+            for c in range(cin):
+                for phase in range(sw):
+                    taps = list(range(phase, kw, sw))
+                    if not taps:
+                        continue
+                    lines += [
+                        f"setaddr a0, {data_row(y * sh + r, c, phase)}",
+                        "bypass n0, dram[a0]",
+                        f"loop {len(taps)} {{",
+                        "  broadcast64 n1, wtram[a3], a5, inc",
+                        "  mac.uint8 dlast, n1, zoff",
+                        "  rotl n0, n0, 1",
+                        "}",
+                    ]
+        lines += [
+            f"setaddr a6, {output_base + y}",
+            f"requant.uint8{act}",
+            "store a6",
+        ]
+    lines.append("halt")
+    program = assemble("\n".join(lines))
+    return program, Conv2dResult(output_base, h_out, w_out, cout)
+
+
+def run_streamed(machine: Ncore, program: list[Instruction], max_cycles: int = 100_000_000):
+    """Execute a program of any length through the double-buffered IRAM.
+
+    Programs longer than one bank are split into straight-line chunks; each
+    chunk is loaded into the inactive bank and the banks are swapped —
+    exactly the loading flow section IV-C.1 describes ("instruction RAM
+    loading [does] not hinder Ncore's latency or throughput").  The
+    machine's architectural state carries across swaps.  Returns the last
+    chunk's RunResult.
+    """
+    from repro.isa.instruction import SeqOp, SeqOpcode
+
+    capacity = machine.iram.bank_instructions
+    result = None
+    position = 0
+    while position < len(program):
+        # Leave room for the bank-boundary halt we may need to append.
+        chunk = list(program[position : position + capacity - 1])
+        position += len(chunk)
+        if not chunk[-1].is_halt:
+            chunk.append(Instruction(seq=SeqOp(SeqOpcode.HALT)))
+        result = machine.execute_program(chunk, max_cycles=max_cycles)
+        if not result.halted:
+            break
+    return result
+
+
+def emit_depthwise_program(
+    machine: Ncore,
+    x: np.ndarray,
+    weights: np.ndarray,
+    input_qp: QuantParams,
+    weight_qp: QuantParams,
+    output_qp: QuantParams,
+    padding: tuple = ((0, 0), (0, 0)),
+    activation: str = "none",
+) -> tuple[list[Instruction], Conv2dResult]:
+    """A depthwise 2-D convolution (stride 1) on the per-channel-group map.
+
+    Depthwise layers assign each 64-lane group its *own* channel (the
+    mapping behind :func:`repro.nkl.schedule.depthwise_schedule`): a data
+    row holds channel g's padded input row in group g, so one fused
+    (broadcast + MAC dlast + rotate) instruction advances every channel's
+    filter tap simultaneously — kh * kw clocks per output row regardless
+    of the channel count, the property that makes depthwise layers cheap
+    in cycles but weak in MACs/cycle (the MobileNet utilization story).
+    """
+    kh, kw, c = weights.shape
+    (pt, pb), (pl, pr) = padding
+    n, h, w, _ = x.shape
+    if n != 1:
+        raise ProgramShapeError("this template runs one image per pass")
+    w_pad = w + pl + pr
+    h_pad = h + pt + pb
+    h_out, w_out = h_pad - kh + 1, w_pad - kw + 1
+    if w_pad > BROADCAST_GROUP:
+        raise ProgramShapeError("padded width must fit one 64-lane tile")
+    if c > GROUPS:
+        raise ProgramShapeError("at most 64 channels per pass")
+    if kh * kw > BROADCAST_GROUP:
+        raise ProgramShapeError("kh * kw must fit one weight index range")
+    zp = input_qp.zero_point & 0xFF
+    padded = np.full((h_pad, w_pad, c), zp, dtype=np.uint8)
+    padded[pt : pt + h, pl : pl + w, :] = x[0]
+    # Data rows: group g of row y holds channel g's padded input row.
+    for y in range(h_pad):
+        row = np.full(ROW_BYTES, zp, dtype=np.uint8)
+        for g in range(c):
+            row[g * BROADCAST_GROUP : g * BROADCAST_GROUP + w_pad] = padded[y, :, g]
+        machine.write_data_ram(y * ROW_BYTES, row.tobytes())
+    # Weight row: byte [g*64 + (r*kw + s)] holds weight[r, s, g].
+    wrow = np.zeros(ROW_BYTES, dtype=np.uint8)
+    for g in range(c):
+        for r in range(kh):
+            for s_tap in range(kw):
+                wrow[g * BROADCAST_GROUP + r * kw + s_tap] = weights[r, s_tap, g]
+    machine.write_weight_ram(0, wrow.tobytes())
+    mult, shift = quantize_multiplier(
+        input_qp.scale * weight_qp.scale / output_qp.scale
+    )
+    machine.set_zero_offsets(data=input_qp.zero_point, weight=weight_qp.zero_point)
+    machine.set_requant(mult, shift, output_qp.zero_point)
+    act = _configure_activation(machine, activation, output_qp)
+    output_base = h_pad
+    lines = ["setaddr a3, 0"]
+    for y in range(h_out):
+        lines.append("mac.uint8 zero, zero, noacc   ; clear accumulators")
+        lines.append("setaddr a5, 0")
+        for r in range(kh):
+            lines += [
+                f"setaddr a0, {y + r}",
+                "bypass n0, dram[a0]",
+                f"loop {kw} {{",
+                "  broadcast64 n1, wtram[a3], a5, inc",
+                "  mac.uint8 dlast, n1, zoff",
+                "  rotl n0, n0, 1",
+                "}",
+            ]
+        lines += [
+            f"setaddr a6, {output_base + y}",
+            f"requant.uint8{act}",
+            "store a6",
+        ]
+    lines.append("halt")
+    # Results: group g carries channel g -> reuse Conv2dResult with
+    # out_channels = c (its reader indexes groups by channel).
+    return assemble("\n".join(lines)), Conv2dResult(output_base, h_out, w_out, c)
+
+
+def emit_avg_pool_program(
+    machine: Ncore,
+    rows: np.ndarray,
+    output_row: int | None = None,
+) -> tuple[list[Instruction], int]:
+    """Row-wise average: out[j] ~= mean_i rows[i][j].
+
+    ADD folds each streamed row into the accumulator; the OUT unit's
+    requantization multiplies by 1/count — the average-pool idiom (input
+    and output share quantization parameters, so plain code averaging is
+    exact up to the requantizer's rounding).
+    """
+    rows = np.asarray(rows, dtype=np.uint8)
+    count, width = rows.shape
+    if width != ROW_BYTES:
+        raise ProgramShapeError("pooling rows must be full 4096-byte rows")
+    if output_row is None:
+        output_row = count + 1
+    for i in range(count):
+        machine.write_data_ram(i * ROW_BYTES, rows[i].tobytes())
+    mult, shift = quantize_multiplier(1.0 / count)
+    machine.set_requant(mult, shift, 0)
+    source = f"""
+    setaddr a0, 0
+    mac.uint8 zero, zero, noacc     ; clear accumulators
+    loop {count} {{
+      add.uint8 dram[a0++], zero
+    }}
+    setaddr a6, {output_row}
+    requant.uint8
+    store a6
+    halt
+    """
+    return assemble(source), output_row

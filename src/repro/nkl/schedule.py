@@ -1,0 +1,238 @@
+"""Kernel schedules: the Fig. 7 mapping and its closed-form cycle counts.
+
+The convolution dataflow (Fig. 7): "One spatial dimension (width or height)
+is selected and rounded up to the nearest power-of-2 ... W x K is
+parallelized over Ncore's 4096 SIMD width."  Concretely, each 4096-byte row
+is treated as 64 broadcast groups of 64 lanes; each group serves one output
+channel, and the 64 lanes of a group cover a tile of spatial positions
+(several output rows at once when the width is small — this is how
+"sufficient parallelism is maintained" as spatial dims shrink and channel
+counts grow with depth).
+
+The inner loop runs one fused (broadcast + MAC + rotate) instruction per
+(filter_y, filter_x, in_channel) step — one clock at 8 bits (Fig. 6) —
+so the cycle count of a pass is simply the loop-nest volume plus the small
+per-pass epilogue (requantize + store + address setup).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dtypes import NcoreDType, dtype_info
+
+BROADCAST_GROUP = 64            # lanes per broadcast group (section IV-D.3)
+PASS_EPILOGUE_CYCLES = 4        # requant + store + address bookkeeping
+KERNEL_SETUP_CYCLES = 32        # per-layer: config registers, loop setup
+
+
+def _next_pow2(n: int) -> int:
+    p = 1
+    while p < n:
+        p *= 2
+    return p
+
+
+@dataclass(frozen=True)
+class KernelSchedule:
+    """The shape of one lowered kernel's execution."""
+
+    kernel: str
+    passes: int                  # output tiles: spatial x channel passes
+    inner_cycles: int            # fused-instruction issues per pass
+    epilogue_cycles: int         # per-pass requant/store overhead
+    setup_cycles: int            # one-time per-layer overhead
+    macs: int                    # useful MACs performed
+    weight_bytes: int            # weight traffic if streamed
+    dtype: NcoreDType = NcoreDType.INT8
+
+    @property
+    def cycles(self) -> int:
+        """Total Ncore cycles for this kernel."""
+        issue = dtype_info(self.dtype).npu_cycles
+        return self.setup_cycles + self.passes * (
+            self.inner_cycles * issue + self.epilogue_cycles
+        )
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of peak MAC throughput achieved (at this dtype)."""
+        if self.cycles == 0:
+            return 0.0
+        issue = dtype_info(self.dtype).npu_cycles
+        peak = 4096 * self.cycles / issue
+        return min(1.0, self.macs / peak)
+
+
+def _spatial_tiling(h_out: int, w_out: int) -> tuple[int, int, int]:
+    """Fig. 7 spatial mapping: returns (passes, valid_per_group, tile_w).
+
+    The width is rounded up to the nearest power of two; when that padded
+    width is below 64, a 64-lane group carries several output rows.
+    """
+    tile_w = min(_next_pow2(w_out), BROADCAST_GROUP)
+    rows_per_group = BROADCAST_GROUP // tile_w
+    x_tiles = -(-w_out // BROADCAST_GROUP) if w_out > BROADCAST_GROUP else 1
+    y_tiles = -(-h_out // rows_per_group)
+    valid = min(w_out, BROADCAST_GROUP) * rows_per_group if w_out <= BROADCAST_GROUP else BROADCAST_GROUP
+    return x_tiles * y_tiles, valid, tile_w
+
+
+def conv2d_schedule(
+    in_channels: int,
+    out_channels: int,
+    h_out: int,
+    w_out: int,
+    filter_h: int,
+    filter_w: int,
+    dtype: NcoreDType = NcoreDType.INT8,
+    batch: int = 1,
+) -> KernelSchedule:
+    """Standard convolution on the W x K mapping.
+
+    Inner loop: one fused instruction per (filter_y, filter_x, in_channel),
+    64 output channels and 64 spatial positions per pass.
+    """
+    spatial_passes, _, _ = _spatial_tiling(h_out, w_out)
+    channel_passes = -(-out_channels // BROADCAST_GROUP)
+    inner = filter_h * filter_w * in_channels
+    macs = batch * h_out * w_out * out_channels * inner
+    element = dtype_info(dtype).bytes_per_element
+    weight_bytes = filter_h * filter_w * in_channels * out_channels * element
+    return KernelSchedule(
+        kernel="conv2d",
+        passes=batch * spatial_passes * channel_passes,
+        inner_cycles=inner,
+        epilogue_cycles=PASS_EPILOGUE_CYCLES,
+        setup_cycles=KERNEL_SETUP_CYCLES,
+        macs=macs,
+        weight_bytes=weight_bytes,
+        dtype=dtype,
+    )
+
+
+def depthwise_schedule(
+    channels: int,
+    h_out: int,
+    w_out: int,
+    filter_h: int,
+    filter_w: int,
+    dtype: NcoreDType = NcoreDType.INT8,
+    batch: int = 1,
+) -> KernelSchedule:
+    """Depthwise convolution: each group is one channel; the inner loop
+    covers only the filter taps (no input-channel reduction)."""
+    spatial_passes, _, _ = _spatial_tiling(h_out, w_out)
+    channel_passes = -(-channels // BROADCAST_GROUP)
+    inner = filter_h * filter_w
+    macs = batch * h_out * w_out * channels * inner
+    element = dtype_info(dtype).bytes_per_element
+    return KernelSchedule(
+        kernel="depthwise_conv2d",
+        passes=batch * spatial_passes * channel_passes,
+        inner_cycles=inner,
+        epilogue_cycles=PASS_EPILOGUE_CYCLES,
+        setup_cycles=KERNEL_SETUP_CYCLES,
+        macs=macs,
+        weight_bytes=filter_h * filter_w * channels * element,
+        dtype=dtype,
+    )
+
+
+def matmul_schedule(
+    rows: int,
+    inner: int,
+    cols: int,
+    dtype: NcoreDType = NcoreDType.INT8,
+) -> KernelSchedule:
+    """Dense matmul (rows, inner) x (inner, cols).
+
+    Two implementation strategies, as section IV-E allows ("a number of
+    implementation strategies may be used"); the NKL picks the cheaper:
+
+    - *tile mapping* (the 1x1-conv form): 64 rows x 64 columns per pass —
+      efficient for GEMM-shaped work;
+    - *vector-matrix mapping*: the data element is broadcast across the
+      whole row and all 4096 lanes hold distinct output columns — the
+      right form for small-batch LSTM/projection steps (GNMT).
+    """
+    tile_passes = max(1, -(-rows // BROADCAST_GROUP)) * -(-cols // BROADCAST_GROUP)
+    vector_passes = max(1, rows) * -(-cols // 4096)
+    passes = min(tile_passes, vector_passes)
+    element = dtype_info(dtype).bytes_per_element
+    return KernelSchedule(
+        kernel="matmul",
+        passes=passes,
+        inner_cycles=inner,
+        epilogue_cycles=PASS_EPILOGUE_CYCLES,
+        setup_cycles=KERNEL_SETUP_CYCLES,
+        macs=rows * inner * cols,
+        weight_bytes=inner * cols * element,
+        dtype=dtype,
+    )
+
+
+def pool_schedule(
+    channels: int,
+    h_out: int,
+    w_out: int,
+    ksize_h: int,
+    ksize_w: int,
+    dtype: NcoreDType = NcoreDType.INT8,
+    batch: int = 1,
+) -> KernelSchedule:
+    """Max/average pooling: one MIN/MAX/ADD instruction per tap."""
+    spatial_passes, _, _ = _spatial_tiling(h_out, w_out)
+    channel_passes = -(-channels // BROADCAST_GROUP)
+    return KernelSchedule(
+        kernel="pool",
+        passes=batch * spatial_passes * channel_passes,
+        inner_cycles=ksize_h * ksize_w,
+        epilogue_cycles=PASS_EPILOGUE_CYCLES,
+        setup_cycles=KERNEL_SETUP_CYCLES,
+        macs=0,
+        weight_bytes=0,
+        dtype=dtype,
+    )
+
+
+def elementwise_schedule(
+    num_elements: int,
+    dtype: NcoreDType = NcoreDType.INT8,
+    ops_per_row: int = 1,
+) -> KernelSchedule:
+    """Elementwise add/mul/activation: streams full rows, one op per row."""
+    element = dtype_info(dtype).bytes_per_element
+    rows = max(1, -(-(num_elements * element) // 4096))
+    return KernelSchedule(
+        kernel="elementwise",
+        passes=rows,
+        inner_cycles=ops_per_row,
+        epilogue_cycles=2,  # requant + store per row
+        setup_cycles=KERNEL_SETUP_CYCLES,
+        macs=0,
+        weight_bytes=0,
+        dtype=dtype,
+    )
+
+
+def lstm_schedule(
+    batch: int,
+    input_size: int,
+    hidden: int,
+    dtype: NcoreDType = NcoreDType.BF16,
+) -> KernelSchedule:
+    """One LSTM step: the stacked (in+hidden, 4*hidden) matmul plus the
+    elementwise gate math (a handful of row ops)."""
+    gates = matmul_schedule(batch, input_size + hidden, 4 * hidden, dtype)
+    gate_rows = max(1, -(-(batch * 4 * hidden * 2) // 4096))
+    return KernelSchedule(
+        kernel="lstm_cell",
+        passes=gates.passes,
+        inner_cycles=gates.inner_cycles,
+        epilogue_cycles=gates.epilogue_cycles,
+        setup_cycles=KERNEL_SETUP_CYCLES + gate_rows * 8,  # gate elementwise
+        macs=gates.macs,
+        weight_bytes=gates.weight_bytes,
+        dtype=dtype,
+    )

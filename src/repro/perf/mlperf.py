@@ -1,0 +1,79 @@
+"""The MLPerf-Inference-style scenario harness.
+
+Implements the two modes the paper submitted (section VI-A): SingleStream,
+which issues one query at a time and reports the 90th-percentile latency,
+and Offline, which issues everything at once and reports throughput.
+Query-to-query jitter (scheduler noise, DRAM refresh) is modelled as a
+small seeded log-normal factor so percentile statistics are meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.perf.system import BenchmarkSystem
+
+LATENCY_PERCENTILE = 90  # MLPerf's SingleStream reporting percentile
+JITTER_SIGMA = 0.015     # ~1.5% query-to-query latency noise
+
+
+@dataclass(frozen=True)
+class SingleStreamResult:
+    model_key: str
+    queries: int
+    mean_latency_seconds: float
+    p90_latency_seconds: float
+
+    @property
+    def p90_latency_ms(self) -> float:
+        return self.p90_latency_seconds * 1e3
+
+
+@dataclass(frozen=True)
+class OfflineResult:
+    model_key: str
+    queries: int
+    throughput_ips: float
+    batch_size: int
+
+
+def run_single_stream(
+    system: BenchmarkSystem, queries: int = 1024, seed: int = 0
+) -> SingleStreamResult:
+    """SingleStream scenario: sequential queries, p90 latency."""
+    if queries < 1:
+        raise ValueError("at least one query required")
+    base = system.single_stream_latency_seconds()
+    rng = np.random.default_rng(seed)
+    samples = base * rng.lognormal(mean=0.0, sigma=JITTER_SIGMA, size=queries)
+    return SingleStreamResult(
+        model_key=system.model_key,
+        queries=queries,
+        mean_latency_seconds=float(samples.mean()),
+        p90_latency_seconds=float(np.percentile(samples, LATENCY_PERCENTILE)),
+    )
+
+
+def run_offline(
+    system: BenchmarkSystem,
+    queries: int = 4096,
+    batch_size: int = 64,
+    cores: int = 8,
+    seed: int = 0,
+) -> OfflineResult:
+    """Offline scenario: all queries at once, batched (batch 64 for GNMT,
+    as in the paper, to raise arithmetic intensity)."""
+    if queries < 1:
+        raise ValueError("at least one query required")
+    base = system.offline_throughput_ips(cores=cores)
+    rng = np.random.default_rng(seed)
+    # Throughput noise shrinks with the query count (averaging).
+    noisy = base * rng.lognormal(mean=0.0, sigma=JITTER_SIGMA / np.sqrt(queries))
+    return OfflineResult(
+        model_key=system.model_key,
+        queries=queries,
+        throughput_ips=float(noisy),
+        batch_size=batch_size,
+    )

@@ -1,0 +1,137 @@
+"""One-shot reproduction report: every table and figure in one run.
+
+``python -m repro reproduce`` (or :func:`generate_report`) builds all four
+benchmark systems and renders the paper's evaluation — Tables II/V/VII/
+VIII/IX and the Fig. 13/14 series — with the published numbers alongside
+the simulated ones.  The pytest benchmarks assert the same shapes; this
+module is the human-readable artifact.
+"""
+
+from __future__ import annotations
+
+from repro.models import PAPER_CHARACTERISTICS
+from repro.ncore import NcoreConfig
+from repro.perf.published import (
+    PAPER_WORKLOAD_SPLIT_MS,
+    PUBLISHED_LATENCY_MS,
+    PUBLISHED_THROUGHPUT_IPS,
+)
+from repro.perf.scaling import expected_throughput, observed_throughput
+from repro.perf.system import get_system
+from repro.soc.x86 import X86Core
+
+MODELS = ["mobilenet_v1", "resnet50_v15", "ssd_mobilenet_v1", "gnmt"]
+CNNS = MODELS[:3]
+
+
+def _table(title: str, header: list[str], rows: list[list]) -> str:
+    widths = [
+        max(len(str(header[i])), *(len(str(r[i])) for r in rows))
+        for i in range(len(header))
+    ]
+    bar = "-" * (sum(widths) + 2 * (len(widths) - 1))
+    def line(cells):
+        return "  ".join(str(c).rjust(w) for c, w in zip(cells, widths))
+    return "\n".join(["", title, bar, line(header), bar, *(line(r) for r in rows), bar])
+
+
+def _fmt(value, digits=2):
+    return "-" if value is None else f"{value:,.{digits}f}"
+
+
+def generate_report() -> str:
+    """Build everything and render the full reproduction report."""
+    sections: list[str] = ["Ncore / CHA reproduction report", "=" * 31]
+
+    # Table II.
+    cfg, core = NcoreConfig(), X86Core()
+    from repro.dtypes import NcoreDType
+
+    sections.append(_table(
+        "Table II: peak throughput (GOPS)",
+        ["Processor", "8b", "bf16", "FP32"],
+        [
+            ["1x CNS x86", round(core.peak_ops(NcoreDType.INT8) / 1e9),
+             round(core.peak_ops(NcoreDType.BF16) / 1e9), round(core.peak_ops(None) / 1e9)],
+            ["Ncore", round(cfg.peak_ops_per_second(1) / 1e9),
+             round(cfg.peak_ops_per_second(3) / 1e9), "N/A"],
+        ],
+    ))
+
+    # Table V.
+    rows = []
+    for key in MODELS:
+        info = PAPER_CHARACTERISTICS[key]
+        graph = info.build()
+        macs, weights = graph.count_macs(), graph.count_weights()
+        rows.append([
+            info.display, f"{macs / 1e9:.2f}B", f"{info.paper_macs / 1e9:.2f}B",
+            f"{weights / 1e6:.1f}M", f"{info.paper_weights / 1e6:.1f}M",
+        ])
+    sections.append(_table(
+        "Table V: benchmark characteristics (measured vs paper)",
+        ["Model", "MACs", "paper", "Weights", "paper"],
+        rows,
+    ))
+
+    # Tables VII + VIII.
+    systems = {key: get_system(key) for key in MODELS}
+    lat_rows = [["Ncore (simulated)"] + [
+        f"{systems[k].single_stream_latency_seconds() * 1e3:.2f}" for k in CNNS
+    ]]
+    for vendor, row in PUBLISHED_LATENCY_MS.items():
+        lat_rows.append([vendor] + [_fmt(row[k]) for k in CNNS])
+    sections.append(_table(
+        "Table VII: SingleStream latency (ms)",
+        ["System", "MobileNet", "ResNet-50", "SSD-MobileNet"],
+        lat_rows,
+    ))
+    thr_rows = [["Ncore (simulated)"] + [
+        f"{systems[k].offline_throughput_ips():,.1f}" for k in MODELS
+    ]]
+    for vendor, row in PUBLISHED_THROUGHPUT_IPS.items():
+        thr_rows.append([vendor] + [_fmt(row[k]) for k in MODELS])
+    sections.append(_table(
+        "Table VIII: Offline throughput (IPS)",
+        ["System", "MobileNet", "ResNet-50", "SSD-MobileNet", "GNMT"],
+        thr_rows,
+    ))
+
+    # Table IX.
+    rows = []
+    for key in CNNS:
+        split = systems[key].workload_split()
+        paper = PAPER_WORKLOAD_SPLIT_MS[key]
+        rows.append([
+            PAPER_CHARACTERISTICS[key].display,
+            f"{split['ncore'] * 1e3:.2f} ({split['ncore'] / split['total']:.0%})",
+            f"{paper['ncore']:.2f} ({paper['ncore'] / paper['total']:.0%})",
+            f"{split['x86'] * 1e3:.2f}",
+            f"{paper['x86']:.2f}",
+        ])
+    sections.append(_table(
+        "Table IX: Ncore/x86 split, ms (measured vs paper)",
+        ["Model", "Ncore", "paper", "x86", "paper"],
+        rows,
+    ))
+
+    # Figs 13/14 series (simulated portions).
+    for title, fn in (
+        ("Fig. 13: expected max IPS vs x86 cores", expected_throughput),
+        ("Fig. 14: observed IPS vs x86 cores", observed_throughput),
+    ):
+        rows = []
+        for key in CNNS:
+            system = systems[key]
+            portion = system.x86_portion()
+            nonbatchable = portion.total_seconds * (1 - portion.batchable_fraction)
+            t_nc = system.ncore_seconds_batched(64)
+            rows.append(
+                [PAPER_CHARACTERISTICS[key].display]
+                + [round(fn(t_nc, portion.total_seconds, n, nonbatchable))
+                   for n in range(1, 9)]
+            )
+        sections.append(_table(title, ["Model"] + [str(n) for n in range(1, 9)], rows))
+
+    sections.append("\nSee EXPERIMENTS.md for the shape claims each number supports.")
+    return "\n".join(sections)

@@ -1,0 +1,18 @@
+"""The quantized-model converter.
+
+Section II-A.6: Ncore targets "specific 8-bit quantization schemes [that]
+have emerged that do not require re-training and achieve small reductions
+in accuracy" — post-training affine quantization.  This package implements
+the conversion pipeline: calibrate activation ranges on sample batches,
+then rewrite a float graph into a uint8 graph with int32 biases, inserting
+quantize/dequantize ops at the float boundaries.
+
+bfloat16 conversion (the GNMT path: "migrating bfloat16 trained models to
+inference on Ncore has become straightforward") is a pure dtype rewrite —
+see :func:`convert_to_bf16`.
+"""
+
+from repro.quantize.calibrate import CalibrationResult, calibrate
+from repro.quantize.convert import convert_to_bf16, quantize_graph
+
+__all__ = ["CalibrationResult", "calibrate", "convert_to_bf16", "quantize_graph"]

@@ -1,0 +1,56 @@
+"""Calibration: observe activation ranges on representative batches."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.gir import Graph
+from repro.graph.reference import execute_node
+
+
+@dataclass
+class CalibrationResult:
+    """Observed (min, max) per activation tensor."""
+
+    ranges: dict[str, tuple[float, float]] = field(default_factory=dict)
+
+    def observe(self, name: str, values: np.ndarray) -> None:
+        lo, hi = float(np.min(values)), float(np.max(values))
+        if name in self.ranges:
+            old_lo, old_hi = self.ranges[name]
+            lo, hi = min(lo, old_lo), max(hi, old_hi)
+        self.ranges[name] = (lo, hi)
+
+    def range_of(self, name: str) -> tuple[float, float]:
+        try:
+            return self.ranges[name]
+        except KeyError:
+            raise KeyError(
+                f"tensor {name!r} was never observed during calibration"
+            ) from None
+
+
+def calibrate(graph: Graph, batches: list[dict[str, np.ndarray]]) -> CalibrationResult:
+    """Run the float graph over calibration batches, recording every
+    activation tensor's dynamic range."""
+    if not batches:
+        raise ValueError("calibration needs at least one batch")
+    result = CalibrationResult()
+    for feeds in batches:
+        values: dict[str, np.ndarray] = {}
+        for name, tensor in graph.tensors.items():
+            if tensor.is_constant:
+                values[name] = tensor.data
+        for name in graph.inputs:
+            values[name] = np.asarray(feeds[name])
+            result.observe(name, values[name])
+        for node in graph.nodes:
+            ins = [values[name] for name in node.inputs]
+            outs = execute_node(graph, node, ins)
+            for name, value in zip(node.outputs, outs):
+                values[name] = value
+                if np.issubdtype(np.asarray(value).dtype, np.floating):
+                    result.observe(name, value)
+    return result

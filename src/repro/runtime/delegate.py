@@ -1,0 +1,146 @@
+"""Delegate integration: compile a graph and run it across Ncore and x86.
+
+Mirrors the paper's execution model (Fig. 8 / Fig. 9): the framework splits
+the graph into subgraphs; Ncore subgraphs are compiled through the GCL/NKL
+into loadables, x86 subgraphs run on the cores, and the runtime handles the
+callbacks between them.
+
+Functional results come from the quantized fast-model kernels (validated
+against the instruction-level simulator); timing comes from the NKL cycle
+schedules for the Ncore portion and the core cost model for the x86
+portion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.gir import Graph
+from repro.graph.loadable import CompiledModel
+from repro.graph.partitioner import partition
+from repro.graph.passes import default_pipeline
+from repro.ncore.config import NcoreConfig
+from repro.nkl.lower import lower_segment
+from repro.runtime.driver import NcoreKernelDriver
+from repro.runtime.qkernels import execute_quantized
+from repro.soc.cha import ChaSoc
+
+# Fixed software cost of one delegate transition (framework callback,
+# buffer handoff): tens of microseconds of interpreter work.
+DELEGATE_TRANSITION_SECONDS = 10e-6
+
+
+def compile_model(
+    graph: Graph,
+    config: NcoreConfig | None = None,
+    optimize: bool = True,
+    name: str | None = None,
+) -> CompiledModel:
+    """Run the GCL pipeline, partition, and lower the Ncore segments."""
+    if optimize:
+        default_pipeline().run(graph)
+    segments = partition(graph)
+    model = CompiledModel(
+        name=name or graph.name, graph=graph, segments=segments
+    )
+    for index, segment in enumerate(segments):
+        if segment.target == "ncore":
+            model.loadables[index] = lower_segment(
+                graph, segment, config, name=f"{model.name}_seg{index}"
+            )
+    return model
+
+
+@dataclass
+class RunTiming:
+    """Latency breakdown of one inference (the Table IX decomposition)."""
+
+    ncore_seconds: float
+    x86_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.ncore_seconds + self.x86_seconds
+
+    @property
+    def ncore_fraction(self) -> float:
+        total = self.total_seconds
+        return self.ncore_seconds / total if total else 0.0
+
+
+@dataclass
+class RunResult:
+    outputs: dict[str, np.ndarray]
+    timing: RunTiming
+
+
+class InferenceSession:
+    """Owns the device (through the kernel driver) and runs inferences."""
+
+    def __init__(
+        self,
+        model: CompiledModel,
+        soc: ChaSoc | None = None,
+        owner: str = "inference-session",
+    ) -> None:
+        self.model = model
+        self.soc = soc or ChaSoc()
+        self.driver = NcoreKernelDriver(self.soc)
+        self.driver.probe()
+        self.mapping = self.driver.open(owner)
+        self._clock = self.soc.ncore.config.clock_hz
+        self._dma_bpc = self.soc.ncore_to_dram_bandwidth() / self._clock
+
+    def close(self) -> None:
+        self.driver.close(self.mapping)
+
+    # ------------------------------------------------------------------
+
+    def ncore_seconds(self) -> float:
+        """Ncore portion of one inference, from the NKL schedules."""
+        return self.model.ncore_cycles(self._dma_bpc) / self._clock
+
+    def x86_graph_seconds(self) -> float:
+        """x86 portion attributable to non-delegated graph segments."""
+        core = self.soc.cores[0]
+        total = 0.0
+        for index in self.model.x86_segments:
+            segment = self.model.segments[index]
+            total += DELEGATE_TRANSITION_SECONDS
+            for node in segment.nodes:
+                total += core.task_seconds(**_x86_node_cost(self.model.graph, node))
+        return total
+
+    def run(self, feeds: dict[str, np.ndarray]) -> RunResult:
+        """One inference: functional execution plus the timing model."""
+        outputs = execute_quantized(self.model.graph, feeds)
+        timing = RunTiming(
+            ncore_seconds=self.ncore_seconds(),
+            x86_seconds=self.x86_graph_seconds(),
+        )
+        return RunResult(outputs=outputs, timing=timing)
+
+
+def _x86_node_cost(graph: Graph, node) -> dict:
+    """Roofline parameters for one x86-resident node."""
+    out_bytes = sum(graph.tensor(n).type.num_bytes for n in node.outputs)
+    in_bytes = sum(
+        graph.tensor(n).type.num_bytes for n in node.inputs if not graph.tensor(n).is_constant
+    )
+    if node.op == "nms":
+        anchors = graph.tensor(node.inputs[0]).shape[0]
+        classes = graph.tensor(node.inputs[1]).shape[-1]
+        # Sorting plus pairwise IoU work per class.
+        return {"ops": 60.0 * anchors * classes, "bytes_moved": in_bytes + out_bytes}
+    if node.op == "softmax":
+        elements = graph.tensor(node.outputs[0]).type.num_elements
+        return {"ops": 8.0 * elements, "bytes_moved": in_bytes + out_bytes}
+    if node.op in ("reshape", "identity", "concat", "pad"):
+        return {"bytes_moved": in_bytes + out_bytes}
+    if node.op == "embedding":
+        return {"bytes_moved": out_bytes}
+    # Generic fallback: stream the data once.
+    return {"ops": 2.0 * graph.tensor(node.outputs[0]).type.num_elements,
+            "bytes_moved": in_bytes + out_bytes}

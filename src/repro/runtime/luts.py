@@ -1,0 +1,44 @@
+"""Activation lookup tables for the OUT unit.
+
+The OUT unit evaluates tanh and sigmoid through a 256-entry table indexed
+by the requantized 8-bit code (section IV-D.5 lists both among its
+activations).  The runtime builds the table from the input and output
+quantization parameters and loads it through the slave interface.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.dtypes import NcoreDType, QuantParams, dtype_info, quantize
+
+
+def build_activation_lut(
+    fn: Callable[[np.ndarray], np.ndarray],
+    in_qp: QuantParams,
+    out_qp: QuantParams,
+) -> np.ndarray:
+    """Tabulate ``out_code = Q_out(fn(DQ_in(in_code)))`` over all 256 codes.
+
+    The table is indexed by ``code - dtype_min`` (0..255), matching the
+    machine's :meth:`set_activation_lut` indexing.
+    """
+    info = dtype_info(in_qp.dtype)
+    if info.bytes_per_element != 1:
+        raise ValueError("activation LUTs cover 8-bit input codes")
+    codes = np.arange(int(info.min_value), int(info.max_value) + 1, dtype=np.int64)
+    real = in_qp.scale * (codes - in_qp.zero_point)
+    activated = fn(real.astype(np.float32))
+    return quantize(activated, out_qp).astype(np.int32)
+
+
+def sigmoid_lut(in_qp: QuantParams, out_qp: QuantParams) -> np.ndarray:
+    return build_activation_lut(
+        lambda x: 1.0 / (1.0 + np.exp(-x.astype(np.float64))), in_qp, out_qp
+    )
+
+
+def tanh_lut(in_qp: QuantParams, out_qp: QuantParams) -> np.ndarray:
+    return build_activation_lut(np.tanh, in_qp, out_qp)

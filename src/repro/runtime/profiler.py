@@ -1,0 +1,109 @@
+"""Runtime profiling via the event log: Fig. 10-style traces.
+
+Section V-C shows "an example runtime trace generated during an Ncore run
+using Ncore's debugging features".  The profiler brackets program regions
+with event markers, runs the program, and folds the drained event log into
+named spans with cycle and wall-time attribution — logging "poses no
+performance penalty on Ncore" (section IV-F), so the trace is free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa import Instruction, SeqOp, SeqOpcode
+from repro.ncore import Ncore
+
+MAX_TAG = 15  # the EVENT seq-op arg is a 4-bit field
+
+
+@dataclass(frozen=True)
+class Span:
+    """One named region of the trace."""
+
+    name: str
+    start_cycle: int
+    end_cycle: int
+
+    @property
+    def cycles(self) -> int:
+        return self.end_cycle - self.start_cycle
+
+    def seconds(self, clock_hz: float = 2.5e9) -> float:
+        return self.cycles / clock_hz
+
+
+@dataclass
+class Trace:
+    """A completed profiling run."""
+
+    spans: list[Span]
+    total_cycles: int
+    clock_hz: float
+
+    def render(self, width: int = 48) -> str:
+        """A Fig. 10-style text trace (one bar per span)."""
+        lines = [f"Ncore trace: {self.total_cycles} cycles "
+                 f"({self.total_cycles / self.clock_hz * 1e6:.2f} us)"]
+        span_total = max(1, self.total_cycles)
+        for span in self.spans:
+            offset = int(span.start_cycle / span_total * width)
+            length = max(1, int(span.cycles / span_total * width))
+            bar = " " * offset + "#" * length
+            lines.append(
+                f"  {span.name:<20} {span.start_cycle:>7} +{span.cycles:<7} |{bar}"
+            )
+        return "\n".join(lines)
+
+    def span(self, name: str) -> Span:
+        for candidate in self.spans:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(f"no span named {name!r}")
+
+
+class Profiler:
+    """Instrument and run a program on one machine."""
+
+    def __init__(self, machine: Ncore) -> None:
+        self.machine = machine
+        self._names: dict[int, str] = {}
+        self._next_tag = 0
+
+    def marker(self, name: str) -> Instruction:
+        """Allocate an event marker instruction for a named region edge."""
+        if self._next_tag > MAX_TAG:
+            raise ValueError(f"at most {MAX_TAG + 1} markers per trace")
+        tag = self._next_tag
+        self._next_tag += 1
+        self._names[tag] = name
+        return Instruction(seq=SeqOp(SeqOpcode.EVENT, tag))
+
+    def instrument(self, regions: list[tuple[str, list[Instruction]]]) -> list[Instruction]:
+        """Build a program of named regions, each bracketed by markers."""
+        program: list[Instruction] = []
+        for name, body in regions:
+            program.append(self.marker(f"{name}"))
+            program.extend(body)
+        program.append(self.marker("__end__"))
+        program.append(Instruction(seq=SeqOp(SeqOpcode.HALT)))
+        return program
+
+    def run(self, program: list[Instruction], max_cycles: int = 100_000_000) -> Trace:
+        """Execute and fold the event log into spans."""
+        self.machine.event_log.drain()  # start clean
+        result = self.machine.execute_program(program, max_cycles=max_cycles)
+        events = [
+            e for e in self.machine.event_log.drain() if e.tag in self._names
+        ]
+        spans: list[Span] = []
+        for current, following in zip(events, events[1:]):
+            name = self._names[current.tag]
+            if name == "__end__":
+                continue
+            spans.append(Span(name, current.cycle, following.cycle))
+        return Trace(
+            spans=spans,
+            total_cycles=result.cycles,
+            clock_hz=self.machine.config.clock_hz,
+        )

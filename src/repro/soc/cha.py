@@ -1,0 +1,90 @@
+"""The CHA SoC: eight CNS cores + Ncore on one ring (Fig. 1).
+
+Assembles the substrate pieces into the platform the paper evaluates
+(Table IV): the ring bus, the four-channel DDR4 controller, the 16 MB
+shared L3, eight x86 cores, and the Ncore coprocessor wired so that
+
+- its DMA engines reach system DRAM (optionally through the L3),
+- it appears in PCI enumeration as a coprocessor-class device, and
+- x86 cores reach its RAMs and registers through the ring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ncore import Ncore, NcoreConfig, NcorePciDevice
+from repro.soc.cache import L3Cache
+from repro.soc.memory import DramController
+from repro.soc.ring import RingBus, RingStop
+from repro.soc.x86 import CNS, X86Core
+
+NUM_CORES = 8
+
+# Die facts from section III / IV-B, recorded for reporting.
+DIE_AREA_MM2 = 200.0
+NCORE_AREA_MM2 = 34.4
+PROCESS = "TSMC 16 nm FFC"
+
+
+@dataclass(frozen=True)
+class PciFunction:
+    """One enumerated PCI function."""
+
+    bus: int
+    device: int
+    function: int
+    vendor_id: int
+    device_id: int
+    class_code: int
+
+
+class ChaSoc:
+    """One CHA socket."""
+
+    def __init__(self, ncore_config: NcoreConfig | None = None, clock_hz: float = 2.5e9) -> None:
+        self.clock_hz = clock_hz
+        self.ring = RingBus(clock_hz=clock_hz)
+        self.dram = DramController(clock_hz=clock_hz)
+        self.l3 = L3Cache(memory=self.dram)
+        config = ncore_config or NcoreConfig(clock_hz=clock_hz)
+        self.ncore = Ncore(config=config, memory=self.dram)
+        # Wire the coherent DMA-through-L3 path (section IV-A).
+        self.ncore.dma_read.l3 = self.l3
+        self.cores = [X86Core(CNS, clock_hz=clock_hz) for _ in range(NUM_CORES)]
+        self.ncore_pci = NcorePciDevice(sram_bytes=config.total_ram_bytes)
+        self._mmio_assigned = False
+
+    @property
+    def ncore_area_fraction(self) -> float:
+        """Ncore's share of the die (17% in CHA)."""
+        return NCORE_AREA_MM2 / DIE_AREA_MM2
+
+    def enumerate_pci(self) -> list[PciFunction]:
+        """Standard PCI enumeration; Ncore shows up as a coprocessor.
+
+        Also performs BAR assignment, which is what makes the Ncore MMIO
+        windows reachable from the cores.
+        """
+        if not self._mmio_assigned:
+            self.ncore_pci.assign_bars(0xE000_0000)
+            self._mmio_assigned = True
+        return [
+            PciFunction(
+                bus=0,
+                device=16,
+                function=0,
+                vendor_id=self.ncore_pci.vendor_id,
+                device_id=self.ncore_pci.device_id,
+                class_code=self.ncore_pci.class_code,
+            )
+        ]
+
+    def core_to_ncore_seconds(self, num_bytes: int, core_index: int = 0) -> float:
+        """Latency of an x86 access to Ncore over the ring."""
+        stop = RingStop(f"core{core_index}")
+        return self.ring.transfer_seconds(stop, RingStop.NCORE, num_bytes)
+
+    def ncore_to_dram_bandwidth(self) -> float:
+        """Sustained Ncore DMA bandwidth: min of ring direction and DRAM."""
+        return min(self.ring.bandwidth_per_direction, self.dram.peak_bandwidth)

@@ -1,0 +1,50 @@
+"""CHA's memory controller: four channels of DDR4-3200.
+
+Section III: "The memory controller supports four channels of DDR4-3200
+DRAM, providing 102 GB/s peak theoretical throughput."  The controller
+wraps a :class:`repro.ncore.LinearMemory` so that Ncore's DMA engines, the
+x86 cores and the runtime all see the same backing store.
+"""
+
+from __future__ import annotations
+
+from repro.ncore.dma import LinearMemory
+
+# DDR4-3200: 3200 MT/s x 8 bytes per channel.
+BYTES_PER_CHANNEL_PER_SECOND = 3200e6 * 8
+
+
+class DramController(LinearMemory):
+    """The four-channel DDR4-3200 controller as a LinearMemory.
+
+    Exposes the DMA-facing bandwidth/latency interface in CHA clock cycles
+    (the whole SoC runs in a single frequency domain), plus SI-unit helpers
+    for the performance models.
+    """
+
+    def __init__(
+        self,
+        size: int = 32 << 30,          # the test platform had 32 GB (Table IV)
+        channels: int = 4,
+        clock_hz: float = 2.5e9,
+        latency_ns: float = 30.0,
+    ) -> None:
+        self.channels = channels
+        self.clock_hz = clock_hz
+        peak = channels * BYTES_PER_CHANNEL_PER_SECOND
+        super().__init__(
+            size,
+            bandwidth_bytes_per_cycle=peak / clock_hz,
+            latency_cycles=int(round(latency_ns * 1e-9 * clock_hz)),
+        )
+
+    @property
+    def peak_bandwidth(self) -> float:
+        """Peak theoretical throughput in bytes/second (102.4 GB/s in CHA)."""
+        return self.channels * BYTES_PER_CHANNEL_PER_SECOND
+
+    def stream_seconds(self, num_bytes: int, efficiency: float = 0.8) -> float:
+        """Time to stream a large transfer at a sustained efficiency."""
+        if not 0 < efficiency <= 1:
+            raise ValueError("efficiency must be in (0, 1]")
+        return num_bytes / (self.peak_bandwidth * efficiency)

@@ -1,0 +1,87 @@
+"""CHA's bidirectional ring bus.
+
+Section III: the ring is 512 bits wide in each direction with 1-cycle
+latency between ring stops; at 2.5 GHz each direction provides up to
+160 GB/s (320 GB/s combined).  Ring stops exist for each x86 core, Ncore,
+I/O, the memory controllers, and multi-socket logic.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class RingStop(enum.Enum):
+    """The agents attached to CHA's ring."""
+
+    CORE0 = "core0"
+    CORE1 = "core1"
+    CORE2 = "core2"
+    CORE3 = "core3"
+    CORE4 = "core4"
+    CORE5 = "core5"
+    CORE6 = "core6"
+    CORE7 = "core7"
+    NCORE = "ncore"
+    IO = "io"
+    MEMORY = "memory"
+    MULTI_SOCKET = "multi_socket"
+
+
+# Physical ordering of stops around the ring (a modelling choice consistent
+# with the die photo: cores on both sides, Ncore adjacent to the memory
+# controller and I/O).
+RING_ORDER = [
+    RingStop.CORE0,
+    RingStop.CORE1,
+    RingStop.CORE2,
+    RingStop.CORE3,
+    RingStop.MEMORY,
+    RingStop.NCORE,
+    RingStop.IO,
+    RingStop.MULTI_SOCKET,
+    RingStop.CORE4,
+    RingStop.CORE5,
+    RingStop.CORE6,
+    RingStop.CORE7,
+]
+
+
+@dataclass
+class RingBus:
+    """Timing model of the bidirectional ring."""
+
+    width_bits: int = 512
+    clock_hz: float = 2.5e9
+    hop_cycles: int = 1
+
+    @property
+    def width_bytes(self) -> int:
+        return self.width_bits // 8
+
+    @property
+    def bandwidth_per_direction(self) -> float:
+        """Peak bytes/second in one direction (160 GB/s in CHA)."""
+        return self.width_bytes * self.clock_hz
+
+    @property
+    def combined_bandwidth(self) -> float:
+        """Peak bytes/second across both directions (320 GB/s in CHA)."""
+        return 2 * self.bandwidth_per_direction
+
+    def hops(self, src: RingStop, dst: RingStop) -> int:
+        """Fewest ring stops between two agents (the ring is bidirectional,
+        so traffic takes the shorter way around)."""
+        a, b = RING_ORDER.index(src), RING_ORDER.index(dst)
+        distance = abs(a - b)
+        return min(distance, len(RING_ORDER) - distance)
+
+    def transfer_cycles(self, src: RingStop, dst: RingStop, num_bytes: int) -> int:
+        """Cycles to move a message: per-hop latency plus serialisation."""
+        latency = self.hops(src, dst) * self.hop_cycles
+        serialisation = -(-num_bytes // self.width_bytes)  # ceil division
+        return latency + serialisation
+
+    def transfer_seconds(self, src: RingStop, dst: RingStop, num_bytes: int) -> float:
+        return self.transfer_cycles(src, dst, num_bytes) / self.clock_hz

@@ -1,0 +1,16 @@
+"""The Vector Class Library (VCL).
+
+Section V-E: "Prototyping algorithms with new SIMD instructions, changes to
+the machine width, and changes to RAM sizes were modeled using a custom C++
+vector class library (VCL).  The VCL provided a path for quick iteration to
+verify the numerical correctness of algorithms and performance impact" —
+and the GCL "used [it] to report utilization and DMA stalls based on a
+high-level performance model that uses VCL instrumentation".
+
+This is that library in Python: a width-parameterized vector machine with
+the NDU/NPU/OUT operation vocabulary and built-in instrumentation.
+"""
+
+from repro.vcl.machine import VclMachine, VclStats, Vector
+
+__all__ = ["VclMachine", "VclStats", "Vector"]

@@ -1,0 +1,154 @@
+"""A width-parameterized vector machine for algorithm prototyping.
+
+Every operation mirrors one Ncore unit operation but over an arbitrary
+machine width, and every call is instrumented: the machine accumulates an
+operation census and a cycle estimate, so an algorithm sketch immediately
+reports the utilization and bandwidth it would achieve on a hypothetical
+Ncore of that width — the workflow the paper's designers used to evaluate
+slicing decisions before committing RTL.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dtypes import ACC_MAX, ACC_MIN
+
+
+@dataclass
+class VclStats:
+    """Instrumentation: what an algorithm did on the vector machine."""
+
+    ops: Counter = field(default_factory=Counter)
+    cycles: int = 0
+    macs: int = 0
+    ram_rows_read: int = 0
+
+    def utilization(self, width: int) -> float:
+        """MAC-lane utilization of the recorded trace."""
+        if self.cycles == 0:
+            return 0.0
+        return min(1.0, self.macs / (self.cycles * width))
+
+
+class Vector:
+    """One machine-width vector of byte lanes."""
+
+    __slots__ = ("values",)
+
+    def __init__(self, values: np.ndarray) -> None:
+        self.values = np.asarray(values, dtype=np.uint8)
+
+    def __len__(self) -> int:
+        return self.values.size
+
+    def __eq__(self, other) -> bool:  # pragma: no cover - convenience
+        return isinstance(other, Vector) and np.array_equal(self.values, other.values)
+
+
+class VclMachine:
+    """A prototyping machine of configurable width and broadcast group."""
+
+    def __init__(self, width: int = 4096, group: int = 64, acc_bits: int = 32) -> None:
+        if width % group:
+            raise ValueError("machine width must be a multiple of the group size")
+        self.width = width
+        self.group = group
+        self.acc_min = -(1 << (acc_bits - 1))
+        self.acc_max = (1 << (acc_bits - 1)) - 1
+        self.acc = np.zeros(width, dtype=np.int64)
+        self.stats = VclStats()
+
+    # -- data movement (NDU analogues) -------------------------------------
+
+    def load(self, values) -> Vector:
+        """Bring one row of data into the machine (a RAM row read)."""
+        arr = np.zeros(self.width, dtype=np.uint8)
+        values = np.asarray(values, dtype=np.uint8).reshape(-1)
+        arr[: values.size] = values
+        self.stats.ops["load"] += 1
+        self.stats.ram_rows_read += 1
+        self.stats.cycles += 1
+        return Vector(arr)
+
+    def tile(self, values) -> Vector:
+        """Load a small tile repeated across every broadcast group."""
+        values = np.asarray(values, dtype=np.uint8).reshape(-1)
+        if values.size > self.group:
+            raise ValueError("tile exceeds the broadcast group size")
+        tile = np.zeros(self.group, dtype=np.uint8)
+        tile[: values.size] = values
+        self.stats.ops["load"] += 1
+        self.stats.ram_rows_read += 1
+        self.stats.cycles += 1
+        return Vector(np.tile(tile, self.width // self.group))
+
+    def rotate(self, vec: Vector, amount: int) -> Vector:
+        """Rotate toward lane zero; cycle cost grows past 64 B/clock."""
+        self.stats.ops["rotate"] += 1
+        self.stats.cycles += max(1, -(-abs(amount) // 64))
+        return Vector(np.roll(vec.values, -amount))
+
+    def broadcast(self, vec: Vector, index: int) -> Vector:
+        """Broadcast byte ``index`` of each group across that group."""
+        groups = vec.values.reshape(-1, self.group)
+        self.stats.ops["broadcast"] += 1
+        self.stats.cycles += 1
+        return Vector(np.repeat(groups[:, index % self.group], self.group))
+
+    # -- arithmetic (NPU analogues) -----------------------------------------
+
+    def mac(
+        self,
+        data: Vector,
+        weight: Vector,
+        data_zero: int = 0,
+        weight_zero: int = 0,
+        signed: bool = False,
+        fused_moves: int = 0,
+    ) -> None:
+        """acc += (data - dz) * (weight - wz) with saturation.
+
+        ``fused_moves`` marks data-movement ops that issue in the same
+        clock as this MAC (the VLIW fusion), so they cost nothing extra:
+        call sites subtract their cycles.
+        """
+        d = data.values.view(np.int8).astype(np.int64) if signed else data.values.astype(np.int64)
+        w = weight.values.view(np.int8).astype(np.int64) if signed else weight.values.astype(np.int64)
+        product = (d - data_zero) * (w - weight_zero)
+        self.acc = np.clip(self.acc + product, self.acc_min, self.acc_max)
+        self.stats.ops["mac"] += 1
+        self.stats.cycles += 1 - fused_moves
+        self.stats.macs += self.width
+
+    def clear_acc(self) -> None:
+        self.acc[:] = 0
+        self.stats.ops["clear"] += 1
+        self.stats.cycles += 1
+
+    # -- output (OUT analogue) ----------------------------------------------
+
+    def requantize(self, scale: float, offset: int = 0, lo: int = 0, hi: int = 255) -> Vector:
+        """Scale + offset + clamp the accumulators into bytes."""
+        self.stats.ops["requant"] += 1
+        self.stats.cycles += 1
+        scaled = np.round(self.acc * scale) + offset
+        return Vector(np.clip(scaled, lo, hi).astype(np.uint8))
+
+    # -- reporting -----------------------------------------------------------
+
+    def report(self) -> str:
+        """The utilization/DMA-style report the GCL consumed (section V-E)."""
+        stats = self.stats
+        lines = [
+            f"VCL machine: width={self.width} group={self.group}",
+            f"  cycles: {stats.cycles}",
+            f"  macs:   {stats.macs} (utilization {stats.utilization(self.width):.1%})",
+            f"  rows read: {stats.ram_rows_read}",
+        ]
+        ops = ", ".join(f"{name}={count}" for name, count in sorted(stats.ops.items()))
+        lines.append(f"  ops: {ops}")
+        return "\n".join(lines)

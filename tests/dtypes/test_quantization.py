@@ -1,0 +1,160 @@
+"""Tests for affine quantization and OUT-unit requantization."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dtypes import (
+    NcoreDType,
+    QuantParams,
+    choose_quant_params,
+    dequantize,
+    quantize,
+    quantize_multiplier,
+    requantize,
+    rounding_right_shift,
+)
+
+
+class TestQuantParams:
+    def test_rejects_nonpositive_scale(self):
+        with pytest.raises(ValueError):
+            QuantParams(scale=0.0, zero_point=0)
+
+    def test_rejects_out_of_range_zero_point(self):
+        with pytest.raises(ValueError):
+            QuantParams(scale=1.0, zero_point=300, dtype=NcoreDType.UINT8)
+
+    def test_rejects_float_dtype(self):
+        with pytest.raises(ValueError):
+            QuantParams(scale=1.0, zero_point=0, dtype=NcoreDType.BF16)
+
+    def test_range_property(self):
+        qp = QuantParams(scale=0.5, zero_point=128, dtype=NcoreDType.UINT8)
+        lo, hi = qp.range
+        assert lo == pytest.approx(-64.0)
+        assert hi == pytest.approx(63.5)
+
+
+class TestChooseQuantParams:
+    def test_zero_is_exactly_representable(self):
+        qp = choose_quant_params(0.1, 6.3)
+        assert dequantize(np.array([qp.zero_point]), qp)[0] == 0.0
+
+    def test_covers_requested_range(self):
+        qp = choose_quant_params(-3.0, 5.0)
+        lo, hi = qp.range
+        assert lo <= -3.0 + qp.scale
+        assert hi >= 5.0 - qp.scale
+
+    def test_degenerate_all_zero(self):
+        qp = choose_quant_params(0.0, 0.0)
+        assert quantize(np.array([0.0]), qp)[0] == qp.zero_point
+
+    def test_int8_symmetric_ish(self):
+        qp = choose_quant_params(-1.0, 1.0, NcoreDType.INT8)
+        assert qp.dtype == NcoreDType.INT8
+        assert -128 <= qp.zero_point <= 127
+
+    @given(
+        st.floats(min_value=-100, max_value=0, allow_nan=False),
+        st.floats(min_value=0.01, max_value=100, allow_nan=False),
+    )
+    def test_round_trip_error_within_half_scale(self, rmin, rmax):
+        qp = choose_quant_params(rmin, rmax)
+        xs = np.linspace(rmin, rmax, 17).astype(np.float32)
+        err = np.abs(dequantize(quantize(xs, qp), qp) - xs)
+        # scale/2 is the exact bound; allow float32 rounding on top of it.
+        assert np.all(err <= qp.scale / 2 * (1 + 1e-4) + 1e-6)
+
+
+class TestQuantizeMultiplier:
+    @given(st.floats(min_value=1e-6, max_value=1e6, allow_nan=False))
+    def test_reconstruction_accuracy(self, real):
+        m, shift = quantize_multiplier(real)
+        assert (1 << 30) <= m <= (1 << 31)
+        approx = m * 2.0 ** (-31 - shift)
+        assert approx == pytest.approx(real, rel=1e-8)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            quantize_multiplier(0.0)
+
+    def test_power_of_two(self):
+        m, shift = quantize_multiplier(0.5)
+        assert m * 2.0 ** (-31 - shift) == 0.5
+
+
+class TestRoundingRightShift:
+    def test_zero_shift_identity(self):
+        x = np.array([1, -7, 100])
+        np.testing.assert_array_equal(rounding_right_shift(x, 0), x)
+
+    def test_rounds_half_away_from_zero(self):
+        # 3 >> 1 = 1.5 -> 2 ; -3 >> 1 = -1.5 -> -2
+        assert rounding_right_shift(np.array([3]), 1)[0] == 2
+        assert rounding_right_shift(np.array([-3]), 1)[0] == -2
+
+    def test_exact_division(self):
+        assert rounding_right_shift(np.array([8]), 2)[0] == 2
+        assert rounding_right_shift(np.array([-8]), 2)[0] == -2
+
+    def test_negative_shift_rejected(self):
+        with pytest.raises(ValueError):
+            rounding_right_shift(np.array([1]), -1)
+
+    @given(st.integers(-(2**31), 2**31 - 1), st.integers(0, 20))
+    def test_matches_true_rounding(self, value, shift):
+        out = int(rounding_right_shift(np.array([value], dtype=np.int64), shift)[0])
+        exact = value / (1 << shift)
+        # round-half-away-from-zero
+        import math
+
+        expected = math.floor(exact + 0.5) if exact >= 0 else math.ceil(exact - 0.5)
+        assert out == expected
+
+
+class TestRequantize:
+    def test_identity_multiplier(self):
+        # multiplier ~= 1.0 means acc passes through (plus offset).
+        m, shift = quantize_multiplier(1.0)
+        acc = np.array([5, -3, 100], dtype=np.int32)
+        out = requantize(acc, m, shift, offset=0, dtype=NcoreDType.INT8)
+        np.testing.assert_array_equal(out, [5, -3, 100])
+
+    def test_offset_applied(self):
+        m, shift = quantize_multiplier(1.0)
+        out = requantize(np.array([0], np.int32), m, shift, offset=128)
+        assert out[0] == 128
+
+    def test_saturates_to_output_type(self):
+        m, shift = quantize_multiplier(1.0)
+        out = requantize(np.array([10_000], np.int32), m, shift, 0, NcoreDType.INT8)
+        assert out[0] == 127
+
+    @given(
+        st.floats(min_value=1e-4, max_value=4.0, allow_nan=False),
+        st.integers(-(2**20), 2**20),
+    )
+    def test_tracks_real_arithmetic(self, real_mult, acc_val):
+        m, shift = quantize_multiplier(real_mult)
+        out = requantize(
+            np.array([acc_val], np.int32), m, shift, 0, NcoreDType.INT16
+        )
+        expected = np.clip(round(acc_val * real_mult), -32768, 32767)
+        # Fixed-point rounding may differ from float rounding by 1 ULP.
+        assert abs(int(out[0]) - expected) <= 1
+
+    def test_end_to_end_conv_style(self):
+        # Simulate a quantized multiply chain the way a conv uses it:
+        # acc in s32 = sum(data_q * w_q); requant with M = s_in*s_w/s_out.
+        rng = np.random.default_rng(7)
+        s_in, s_w, s_out = 0.02, 0.005, 0.11
+        data = rng.integers(0, 255, 64)
+        weights = rng.integers(-127, 127, 64)
+        acc = np.array([np.sum((data - 128) * weights)], dtype=np.int32)
+        m, shift = quantize_multiplier(s_in * s_w / s_out)
+        out = requantize(acc, m, shift, offset=0, dtype=NcoreDType.INT8)
+        real = float(acc[0]) * s_in * s_w / s_out
+        assert abs(float(out[0]) - np.clip(round(real), -128, 127)) <= 1

@@ -1,0 +1,136 @@
+"""Tests for the graph IR structure and statistics."""
+
+import numpy as np
+import pytest
+
+from repro.dtypes import NcoreDType
+from repro.graph import Graph, GraphError, Node, Tensor, TensorType
+
+
+def simple_conv_graph():
+    g = Graph("test")
+    g.add_input("x", TensorType((1, 8, 8, 3)))
+    g.add_constant("w", np.zeros((3, 3, 3, 16), dtype=np.float32))
+    g.add_tensor(Tensor("y", TensorType((1, 8, 8, 16))))
+    g.add_node(
+        Node("conv", "conv2d", ["x", "w"], ["y"], {"padding": ((1, 1), (1, 1))})
+    )
+    g.mark_output("y")
+    return g
+
+
+class TestTensorType:
+    def test_num_bytes_float32(self):
+        assert TensorType((2, 3), "float32").num_bytes == 24
+
+    def test_num_bytes_quantized(self):
+        assert TensorType((10,), NcoreDType.UINT8).num_bytes == 10
+        assert TensorType((10,), NcoreDType.INT16).num_bytes == 20
+
+    def test_rejects_nonpositive_dims(self):
+        with pytest.raises(GraphError):
+            TensorType((0, 3))
+
+
+class TestGraphConstruction:
+    def test_valid_graph_builds(self):
+        g = simple_conv_graph()
+        g.validate()
+        assert len(g.nodes) == 1
+
+    def test_duplicate_tensor_rejected(self):
+        g = Graph()
+        g.add_input("x", TensorType((1,)))
+        with pytest.raises(GraphError):
+            g.add_input("x", TensorType((1,)))
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(GraphError):
+            Node("n", "frobnicate", [], [])
+
+    def test_node_reading_unknown_tensor_rejected(self):
+        g = Graph()
+        g.add_tensor(Tensor("out", TensorType((1,))))
+        with pytest.raises(GraphError):
+            g.add_node(Node("n", "relu", ["missing"], ["out"]))
+
+    def test_duplicate_node_name_rejected(self):
+        g = simple_conv_graph()
+        with pytest.raises(GraphError):
+            g.add_node(Node("conv", "identity", ["x"], ["y"]))
+
+    def test_unordered_graph_fails_validation(self):
+        g = Graph()
+        g.add_input("x", TensorType((1,)))
+        g.add_tensor(Tensor("a", TensorType((1,))))
+        g.add_tensor(Tensor("b", TensorType((1,))))
+        g.add_node(Node("second", "relu", ["a"], ["b"]))  # reads before produced
+        g.add_node(Node("first", "relu", ["x"], ["a"]))
+        g.mark_output("b")
+        with pytest.raises(GraphError, match="topologically"):
+            g.validate()
+
+
+class TestQueries:
+    def test_producer_and_consumers(self):
+        g = simple_conv_graph()
+        assert g.producer("y").name == "conv"
+        assert g.producer("x") is None
+        assert [n.name for n in g.consumers("x")] == ["conv"]
+
+    def test_find_nodes(self):
+        g = simple_conv_graph()
+        assert len(g.find_nodes("conv2d")) == 1
+        assert g.find_nodes("relu") == []
+
+
+class TestMutation:
+    def test_replace_uses(self):
+        g = simple_conv_graph()
+        g.add_tensor(Tensor("y2", TensorType((1, 8, 8, 16))))
+        g.replace_uses("y", "y2")
+        assert g.outputs == ["y2"]
+
+    def test_prune_dead_tensors(self):
+        g = simple_conv_graph()
+        g.add_tensor(Tensor("orphan", TensorType((1,))))
+        assert g.prune_dead_tensors() == 1
+        assert "orphan" not in g.tensors
+
+
+class TestStatistics:
+    def test_conv_macs(self):
+        g = simple_conv_graph()
+        # 1 * 8 * 8 * 16 outputs * 3*3*3 taps
+        assert g.count_macs() == 8 * 8 * 16 * 27
+
+    def test_depthwise_macs(self):
+        g = Graph()
+        g.add_input("x", TensorType((1, 4, 4, 8)))
+        g.add_constant("w", np.zeros((3, 3, 8), dtype=np.float32))
+        g.add_tensor(Tensor("y", TensorType((1, 4, 4, 8))))
+        g.add_node(
+            Node("dw", "depthwise_conv2d", ["x", "w"], ["y"], {"padding": ((1, 1), (1, 1))})
+        )
+        g.mark_output("y")
+        assert g.count_macs() == 4 * 4 * 8 * 9
+
+    def test_fully_connected_macs(self):
+        g = Graph()
+        g.add_input("x", TensorType((2, 100)))
+        g.add_constant("w", np.zeros((100, 10), dtype=np.float32))
+        g.add_tensor(Tensor("y", TensorType((2, 10))))
+        g.add_node(Node("fc", "fully_connected", ["x", "w"], ["y"]))
+        g.mark_output("y")
+        assert g.count_macs() == 2 * 100 * 10
+
+    def test_weight_count_dedupes_shared_constants(self):
+        g = Graph()
+        g.add_input("x", TensorType((1, 100)))
+        g.add_constant("w", np.zeros((100, 100), dtype=np.float32))
+        for i in range(2):  # same weights used twice
+            g.add_tensor(Tensor(f"y{i}", TensorType((1, 100))))
+        g.add_node(Node("fc0", "fully_connected", ["x", "w"], ["y0"]))
+        g.add_node(Node("fc1", "fully_connected", ["y0", "w"], ["y1"]))
+        g.mark_output("y1")
+        assert g.count_weights() == 100 * 100

@@ -1,0 +1,101 @@
+"""Tests for delegate-style partitioning (Fig. 9)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph, Node, Tensor, TensorType, partition
+from repro.graph.partitioner import NCORE_TARGET, X86_TARGET, ncore_coverage
+
+
+def ssd_like_graph():
+    """conv -> conv -> nms: Ncore body with an x86 postprocess tail."""
+    g = Graph("ssdish")
+    g.add_input("x", TensorType((1, 8, 8, 3)))
+    g.add_constant("w1", np.zeros((3, 3, 3, 8), np.float32))
+    g.add_constant("w2", np.zeros((1, 1, 8, 8), np.float32))
+    g.add_tensor(Tensor("c1", TensorType((1, 8, 8, 8))))
+    g.add_tensor(Tensor("c2", TensorType((1, 8, 8, 8))))
+    g.add_tensor(Tensor("boxes", TensorType((64, 4))))
+    g.add_tensor(Tensor("scores", TensorType((64, 2))))
+    g.add_tensor(Tensor("det_boxes", TensorType((10, 4))))
+    g.add_tensor(Tensor("det_scores", TensorType((10,))))
+    g.add_tensor(Tensor("det_classes", TensorType((10,), "int32")))
+    g.add_node(Node("conv1", "conv2d", ["x", "w1"], ["c1"], {"padding": ((1, 1), (1, 1))}))
+    g.add_node(Node("conv2", "conv2d", ["c1", "w2"], ["c2"]))
+    g.add_node(Node("toboxes", "reshape", ["c2"], ["boxes"], {"shape": (64, 4)}))
+    g.add_node(Node("toscores", "reshape", ["c2"], ["scores"], {"shape": (64, 2)}))
+    g.add_node(
+        Node("postprocess", "nms", ["boxes", "scores"], ["det_boxes", "det_scores", "det_classes"])
+    )
+    g.mark_output("det_boxes")
+    g.mark_output("det_scores")
+    g.mark_output("det_classes")
+    return g
+
+
+class TestPartition:
+    def test_splits_at_unsupported_ops(self):
+        segments = partition(ssd_like_graph())
+        assert [s.target for s in segments] == [NCORE_TARGET, X86_TARGET]
+        assert [n.name for n in segments[0].nodes] == ["conv1", "conv2"]
+        assert [n.name for n in segments[1].nodes] == [
+            "toboxes",
+            "toscores",
+            "postprocess",
+        ]
+
+    def test_all_supported_graph_is_one_segment(self):
+        g = Graph()
+        g.add_input("x", TensorType((1, 4)))
+        g.add_tensor(Tensor("y", TensorType((1, 4))))
+        g.add_node(Node("r", "relu", ["x"], ["y"]))
+        g.mark_output("y")
+        segments = partition(g)
+        assert len(segments) == 1
+        assert segments[0].target == NCORE_TARGET
+
+    def test_alternating_targets(self):
+        g = Graph()
+        g.add_input("x", TensorType((1, 4)))
+        names = ["x"]
+        for i, op in enumerate(["relu", "softmax", "tanh"]):
+            out = f"t{i}"
+            g.add_tensor(Tensor(out, TensorType((1, 4))))
+            g.add_node(Node(f"n{i}", op, [names[-1]], [out]))
+            names.append(out)
+        g.mark_output(names[-1])
+        segments = partition(g)
+        assert [s.target for s in segments] == [NCORE_TARGET, X86_TARGET, NCORE_TARGET]
+
+
+class TestSegmentBoundaries:
+    def test_input_tensors_exclude_constants(self):
+        g = ssd_like_graph()
+        segments = partition(g)
+        assert segments[0].input_tensors(g) == ["x"]
+
+    def test_output_tensors_cross_boundary(self):
+        g = ssd_like_graph()
+        segments = partition(g)
+        assert segments[0].output_tensors(g) == ["c2"]
+        assert set(segments[1].output_tensors(g)) == {
+            "det_boxes",
+            "det_scores",
+            "det_classes",
+        }
+
+    def test_internal_tensors_not_exposed(self):
+        g = ssd_like_graph()
+        segments = partition(g)
+        assert "c1" not in segments[0].output_tensors(g)
+
+
+class TestCoverage:
+    def test_all_macs_on_ncore_for_ssd_like(self):
+        g = ssd_like_graph()
+        assert ncore_coverage(g) == pytest.approx(1.0)
+
+    def test_zero_for_empty_graph(self):
+        g = Graph()
+        g.add_input("x", TensorType((1,)))
+        assert ncore_coverage(g) == 0.0

@@ -1,0 +1,62 @@
+"""Tests for NcoreConfig: the shipped CHA parameters and the sizing knobs."""
+
+import pytest
+
+from repro.ncore import NcoreConfig
+
+
+class TestShippedConfiguration:
+    def test_simd_width_is_4096_bytes(self):
+        cfg = NcoreConfig()
+        assert cfg.slices == 16
+        assert cfg.row_bytes == 4096
+        assert cfg.lanes == 4096
+
+    def test_ram_capacities_match_paper(self):
+        # Section IV-C: 16 MB total, split into 8 MB data + 8 MB weight,
+        # i.e. 512 KB per slice per RAM.
+        cfg = NcoreConfig()
+        assert cfg.data_ram_bytes == 8 * 1024 * 1024
+        assert cfg.weight_ram_bytes == 8 * 1024 * 1024
+        assert cfg.total_ram_bytes == 16 * 1024 * 1024
+        assert cfg.data_ram_bytes // cfg.slices == 512 * 1024
+
+    def test_int8_peak_is_20_tops(self):
+        # Table II: Ncore at 2.5 GHz reaches 20,480 GOPS at 8 bits.
+        cfg = NcoreConfig()
+        assert cfg.peak_ops_per_second(npu_cycles=1) == pytest.approx(20.48e12)
+
+    def test_bf16_peak_matches_table2(self):
+        # Table II: 6,826 GOPS for bfloat16 (3-cycle NPU ops).
+        cfg = NcoreConfig()
+        assert cfg.peak_ops_per_second(npu_cycles=3) == pytest.approx(6.826e12, rel=1e-3)
+
+    def test_sram_bandwidth_is_20_tbps(self):
+        # Section IV-C: "Ncore's RAM provides a total of 20 TB/s".
+        cfg = NcoreConfig()
+        assert cfg.sram_bandwidth_bytes_per_second() == pytest.approx(20.48e12)
+
+    def test_iram_capacity(self):
+        # 8 KB double-buffered = two banks of 256 x 128-bit instructions.
+        cfg = NcoreConfig()
+        assert cfg.iram_instructions == 256
+        assert cfg.irom_instructions == 256
+
+
+class TestSizingKnobs:
+    def test_slice_count_scales_width(self):
+        # Section IV-B: "adding or removing slices alters Ncore's breadth".
+        half = NcoreConfig(slices=8)
+        assert half.row_bytes == 2048
+        assert half.peak_ops_per_second() == pytest.approx(10.24e12)
+
+    def test_sram_rows_scale_height(self):
+        # "increasing or decreasing SRAM capacity alters Ncore's height".
+        tall = NcoreConfig(sram_rows=4096)
+        assert tall.data_ram_bytes == 16 * 1024 * 1024
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            NcoreConfig(slices=0)
+        with pytest.raises(ValueError):
+            NcoreConfig(sram_rows=0)

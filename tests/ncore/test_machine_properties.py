@@ -1,0 +1,149 @@
+"""Property-based tests of the Ncore machine.
+
+Random valid programs must execute without crashing, with consistent cycle
+accounting; encode -> decode -> execute must behave identically to direct
+execution (the binary path changes nothing).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from hypothesis import assume
+
+from repro.isa import Instruction, SeqOp, SeqOpcode, decode, encode
+from repro.ncore import ExecutionError, Ncore
+from tests.isa.test_encoding import _instructions
+
+
+def _safe_program(draw_instructions):
+    """Append a halt and clamp addressing so programs terminate."""
+    program = []
+    for inst in draw_instructions:
+        # Drop control-flow seq ops (loops without matching ends hang) and
+        # DMA ops (descriptors unconfigured); keep everything else.
+        if inst.seq.opcode in (
+            SeqOpcode.HALT,
+            SeqOpcode.LOOP_BEGIN,
+            SeqOpcode.LOOP_END,
+            SeqOpcode.DMA_START,
+            SeqOpcode.DMA_WAIT,
+            SeqOpcode.BREAK,
+        ):
+            inst = Instruction(
+                ndu_ops=inst.ndu_ops,
+                npu=inst.npu,
+                out=inst.out,
+                seq=SeqOp(SeqOpcode.NOP),
+                repeat=min(inst.repeat, 8),
+            )
+        elif inst.seq.opcode in (SeqOpcode.SET_ADDR, SeqOpcode.ADD_ADDR):
+            # Keep addresses inside the RAM rows (16-bit fetches read a+1).
+            inst = Instruction(
+                ndu_ops=inst.ndu_ops,
+                npu=inst.npu,
+                out=inst.out,
+                seq=SeqOp(inst.seq.opcode, inst.seq.arg, abs(inst.seq.arg2) % 100),
+                repeat=min(inst.repeat, 8),
+            )
+        else:
+            # A repeat count cannot combine with an active sequencer op.
+            seq = inst.seq if inst.repeat == 1 else SeqOp(SeqOpcode.NOP)
+            inst = Instruction(
+                ndu_ops=inst.ndu_ops,
+                npu=inst.npu,
+                out=inst.out,
+                seq=seq,
+                repeat=min(inst.repeat, 8),
+            )
+        program.append(inst)
+    program.append(Instruction(seq=SeqOp(SeqOpcode.HALT)))
+    return program
+
+
+@st.composite
+def _programs(draw):
+    count = draw(st.integers(1, 8))
+    return _safe_program([draw(_instructions()) for _ in range(count)])
+
+
+class TestRandomPrograms:
+    @settings(max_examples=30, deadline=None)
+    @given(_programs(), st.integers(0, 2**32 - 1))
+    def test_random_programs_terminate_cleanly(self, program, seed):
+        # Any random valid-ISA program either runs to the halt or raises a
+        # *defined* ExecutionError (e.g. a 16-bit operand from a register);
+        # it never crashes or hangs.
+        machine = Ncore()
+        rng = np.random.default_rng(seed)
+        machine.write_data_ram(0, rng.integers(0, 255, 8 * 4096, dtype=np.uint8).tobytes())
+        machine.write_weight_ram(0, rng.integers(0, 255, 8 * 4096, dtype=np.uint8).tobytes())
+        try:
+            result = machine.execute_program(program, max_cycles=10_000)
+        except ExecutionError:
+            return
+        assert result.halted
+        assert result.cycles >= len(program)
+        assert machine.total_issues >= len(program)
+
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.filter_too_much],
+    )
+    @given(_programs())
+    def test_cycle_accounting_matches_static_model(self, program):
+        machine = Ncore()
+        try:
+            result = machine.execute_program(program, max_cycles=100_000)
+        except ExecutionError:
+            assume(False)  # architecturally-rejected program: skip
+        expected = sum(inst.total_cycles() for inst in program)
+        assert result.cycles == expected
+
+    @settings(max_examples=20, deadline=None)
+    @given(_programs(), st.integers(0, 2**32 - 1))
+    def test_binary_round_trip_execution_identical(self, program, seed):
+        # Running decode(encode(p)) must produce identical machine state.
+        rng = np.random.default_rng(seed)
+        data = rng.integers(0, 255, 8 * 4096, dtype=np.uint8).tobytes()
+        weights = rng.integers(0, 255, 8 * 4096, dtype=np.uint8).tobytes()
+
+        def run(instructions):
+            machine = Ncore()
+            machine.write_data_ram(0, data)
+            machine.write_weight_ram(0, weights)
+            machine.execute_program(instructions, max_cycles=10_000)
+            return machine
+
+        try:
+            binary = [decode(encode(inst)) for inst in program]
+        except Exception:
+            return  # some random instructions are legitimately unencodable
+        try:
+            direct = run(program)
+        except ExecutionError:
+            with pytest.raises(ExecutionError):
+                run(binary)  # the binary path must reject identically
+            return
+        roundtrip = run(binary)
+        np.testing.assert_array_equal(direct.acc_int, roundtrip.acc_int)
+        np.testing.assert_array_equal(direct.ndu_regs, roundtrip.ndu_regs)
+        assert direct.addr_regs == roundtrip.addr_regs
+        assert direct.total_cycles == roundtrip.total_cycles
+
+    @settings(max_examples=15, deadline=None)
+    @given(_programs())
+    def test_reset_restores_power_on_state(self, program):
+        machine = Ncore()
+        machine.write_data_ram(0, b"\x05" * 4096)
+        try:
+            machine.execute_program(program, max_cycles=10_000)
+        except ExecutionError:
+            pass  # reset must restore state even after a rejected program
+        machine.reset()
+        assert machine.total_cycles == 0
+        assert not machine.acc_int.any()
+        assert not machine.ndu_regs.any()
+        assert machine.addr_regs == [0] * 8

@@ -1,0 +1,144 @@
+"""Tests for the Neural Data Unit operations."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.isa.instruction import RotateDirection
+from repro.ncore import ndu
+
+
+def row(*values, size=4096):
+    out = np.zeros(size, dtype=np.uint8)
+    out[: len(values)] = values
+    return out
+
+
+class TestBypass:
+    def test_copies(self):
+        src = row(1, 2, 3)
+        out = ndu.bypass(src)
+        np.testing.assert_array_equal(out, src)
+        out[0] = 99
+        assert src[0] == 1  # bypass must not alias
+
+
+class TestRotate:
+    def test_rotate_left_moves_toward_lane_zero(self):
+        src = row(10, 20, 30, size=8)
+        out = ndu.rotate(src, 1, RotateDirection.LEFT)
+        np.testing.assert_array_equal(out, [20, 30, 0, 0, 0, 0, 0, 10])
+
+    def test_rotate_right(self):
+        src = row(10, 20, size=8)
+        out = ndu.rotate(src, 2, RotateDirection.RIGHT)
+        np.testing.assert_array_equal(out, [0, 0, 10, 20, 0, 0, 0, 0])
+
+    def test_amount_limit(self):
+        with pytest.raises(ValueError):
+            ndu.rotate(row(size=128), 65, RotateDirection.LEFT)
+
+    @given(npst.arrays(np.uint8, 256), st.integers(0, 64))
+    def test_left_then_right_is_identity(self, data, amount):
+        out = ndu.rotate(
+            ndu.rotate(data, amount, RotateDirection.LEFT), amount, RotateDirection.RIGHT
+        )
+        np.testing.assert_array_equal(out, data)
+
+    @given(npst.arrays(np.uint8, 512))
+    def test_full_row_rotation_composes(self, data):
+        # A 512-byte rotation composed of 8 x 64-byte steps equals np.roll.
+        out = data
+        for _ in range(8):
+            out = ndu.rotate(out, 64, RotateDirection.LEFT)
+        np.testing.assert_array_equal(out, np.roll(data, -512 % data.size))
+
+
+class TestBroadcast64:
+    def test_broadcasts_indexed_byte_per_group(self):
+        src = np.arange(256, dtype=np.uint8)  # 4 groups of 64
+        out = ndu.broadcast64(src, 5)
+        assert out.shape == (256,)
+        np.testing.assert_array_equal(out[0:64], np.full(64, 5))
+        np.testing.assert_array_equal(out[64:128], np.full(64, 69))
+        np.testing.assert_array_equal(out[128:192], np.full(64, 133))
+
+    def test_index_wraps_at_group_size(self):
+        src = np.arange(128, dtype=np.uint8)
+        np.testing.assert_array_equal(ndu.broadcast64(src, 64), ndu.broadcast64(src, 0))
+
+    def test_rejects_partial_groups(self):
+        with pytest.raises(ValueError):
+            ndu.broadcast64(np.zeros(100, dtype=np.uint8), 0)
+
+    @given(npst.arrays(np.uint8, 4096), st.integers(0, 63))
+    def test_each_group_is_constant(self, data, index):
+        out = ndu.broadcast64(data, index)
+        groups = out.reshape(-1, 64)
+        assert (groups == groups[:, :1]).all()
+        np.testing.assert_array_equal(groups[:, 0], data.reshape(-1, 64)[:, index])
+
+
+class TestCompressExpand:
+    def test_dense_row_round_trip(self):
+        data = np.arange(1, 65, dtype=np.uint8)
+        stream = ndu.compress(data)
+        np.testing.assert_array_equal(ndu.expand(stream, 64), data)
+
+    def test_sparse_row_compresses_smaller(self):
+        data = np.zeros(512, dtype=np.uint8)
+        data[::37] = 5
+        stream = ndu.compress(data)
+        assert stream.size < data.size
+        np.testing.assert_array_equal(ndu.expand(stream, 512), data)
+
+    def test_all_zero_row(self):
+        data = np.zeros(128, dtype=np.uint8)
+        stream = ndu.compress(data)
+        assert stream.size == 16  # one bitmap byte per 8 zeros
+        np.testing.assert_array_equal(ndu.expand(stream, 128), data)
+
+    def test_truncated_stream_rejected(self):
+        with pytest.raises(ValueError):
+            ndu.expand(np.array([0xFF], dtype=np.uint8), 8)
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(ValueError):
+            ndu.expand(np.zeros(0, dtype=np.uint8), 8)
+
+    @given(npst.arrays(np.uint8, 256))
+    def test_round_trip_property(self, data):
+        # The decompression engine must reproduce any weight block exactly.
+        np.testing.assert_array_equal(ndu.expand(ndu.compress(data), data.size), data)
+
+    @given(
+        npst.arrays(
+            np.uint8, 256, elements=st.sampled_from([0, 0, 0, 0, 0, 0, 0, 1, 255])
+        )
+    )
+    def test_sparse_compression_ratio(self, data):
+        # ~12.5% overhead bitmap + nonzeros only.
+        stream = ndu.compress(data)
+        nonzeros = int(np.count_nonzero(data))
+        assert stream.size == data.size // 8 + nonzeros
+
+
+class TestMaskedMerge:
+    def test_merges_where_mask_set(self):
+        update = row(1, 2, 3, 4, size=4)
+        previous = row(9, 9, 9, 9, size=4)
+        mask = row(1, 0, 255, 0, size=4)
+        out = ndu.masked_merge(update, previous, mask)
+        np.testing.assert_array_equal(out, [1, 9, 3, 9])
+
+    @given(npst.arrays(np.uint8, 64), npst.arrays(np.uint8, 64))
+    def test_all_ones_mask_takes_update(self, update, previous):
+        mask = np.full(64, 1, dtype=np.uint8)
+        np.testing.assert_array_equal(ndu.masked_merge(update, previous, mask), update)
+
+    @given(npst.arrays(np.uint8, 64), npst.arrays(np.uint8, 64))
+    def test_zero_mask_keeps_previous(self, update, previous):
+        mask = np.zeros(64, dtype=np.uint8)
+        np.testing.assert_array_equal(ndu.masked_merge(update, previous, mask), previous)

@@ -1,0 +1,136 @@
+"""Tests for the Neural Processing Unit lane arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.dtypes import ACC_MAX, ACC_MIN
+from repro.isa import NPUOp, NPUOpcode, Operand, OperandKind
+from repro.ncore import npu
+
+ZERO = Operand(OperandKind.ZERO)
+
+
+def op(opcode, accumulate=True):
+    return NPUOp(opcode, ZERO, ZERO, accumulate=accumulate)
+
+
+def lanes(*values):
+    return np.array(values, dtype=np.int32)
+
+
+class TestIntegerOps:
+    def test_mac_accumulates(self):
+        acc = lanes(10, 0)
+        out = npu.execute_int(op(NPUOpcode.MAC), lanes(2, 3), lanes(4, -5), acc, None)
+        np.testing.assert_array_equal(out, [18, -15])
+
+    def test_mac_without_accumulate_replaces(self):
+        acc = lanes(100, 100)
+        out = npu.execute_int(
+            op(NPUOpcode.MAC, accumulate=False), lanes(2, 3), lanes(4, 5), acc, None
+        )
+        np.testing.assert_array_equal(out, [8, 15])
+
+    def test_add_sub(self):
+        acc = lanes(0, 0)
+        out = npu.execute_int(op(NPUOpcode.ADD), lanes(5, 5), lanes(3, -3), acc, None)
+        np.testing.assert_array_equal(out, [8, 2])
+        out = npu.execute_int(op(NPUOpcode.SUB), lanes(5, 5), lanes(3, -3), acc, None)
+        np.testing.assert_array_equal(out, [2, 8])
+
+    def test_min_max_fold_against_accumulator(self):
+        # The pooling idiom: acc = max(acc, max(data, weight)).
+        acc = lanes(10, -10)
+        out = npu.execute_int(op(NPUOpcode.MAX), lanes(5, 5), lanes(0, 0), acc, None)
+        np.testing.assert_array_equal(out, [10, 5])
+        out = npu.execute_int(op(NPUOpcode.MIN), lanes(5, 5), lanes(0, 0), acc, None)
+        np.testing.assert_array_equal(out, [0, -10])
+
+    def test_logical_ops_replace(self):
+        acc = lanes(0xFF)
+        out = npu.execute_int(op(NPUOpcode.AND), lanes(0b1100), lanes(0b1010), acc, None)
+        np.testing.assert_array_equal(out, [0b1000])
+        out = npu.execute_int(op(NPUOpcode.OR), lanes(0b1100), lanes(0b1010), acc, None)
+        np.testing.assert_array_equal(out, [0b1110])
+        out = npu.execute_int(op(NPUOpcode.XOR), lanes(0b1100), lanes(0b1010), acc, None)
+        np.testing.assert_array_equal(out, [0b0110])
+
+    def test_accumulator_saturates(self):
+        # Section IV-D.4: the accumulator is 32-bit *saturating*.
+        acc = lanes(ACC_MAX - 5)
+        out = npu.execute_int(op(NPUOpcode.MAC), lanes(100), lanes(100), acc, None)
+        assert out[0] == ACC_MAX
+        acc = lanes(ACC_MIN + 5)
+        out = npu.execute_int(op(NPUOpcode.MAC), lanes(100), lanes(-100), acc, None)
+        assert out[0] == ACC_MIN
+
+    def test_predication_masks_update(self):
+        # "a 32-bit saturating accumulator, which can be conditionally set
+        # via predication registers".
+        acc = lanes(1, 2, 3)
+        mask = np.array([True, False, True])
+        out = npu.execute_int(op(NPUOpcode.MAC), lanes(10, 10, 10), lanes(1, 1, 1), acc, mask)
+        np.testing.assert_array_equal(out, [11, 2, 13])
+
+    @given(
+        npst.arrays(np.int32, 32, elements=st.integers(-(2**31), 2**31 - 1)),
+        npst.arrays(np.int32, 32, elements=st.integers(-256, 255)),
+        npst.arrays(np.int32, 32, elements=st.integers(-256, 255)),
+    )
+    def test_mac_matches_saturating_reference(self, acc, data, weight):
+        out = npu.execute_int(op(NPUOpcode.MAC), data, weight, acc, None)
+        exact = acc.astype(object) + data.astype(object) * weight.astype(object)
+        expected = [min(max(v, ACC_MIN), ACC_MAX) for v in exact]
+        np.testing.assert_array_equal(out, expected)
+
+
+class TestFloatOps:
+    def test_float_mac(self):
+        acc = np.array([1.0, 0.0], dtype=np.float32)
+        out = npu.execute_float(
+            op(NPUOpcode.MAC), np.float32([2, 3]), np.float32([4, 5]), acc, None
+        )
+        np.testing.assert_allclose(out, [9.0, 15.0])
+
+    def test_float_predication(self):
+        acc = np.array([1.0, 1.0], dtype=np.float32)
+        mask = np.array([False, True])
+        out = npu.execute_float(
+            op(NPUOpcode.ADD), np.float32([5, 5]), np.float32([0, 0]), acc, mask
+        )
+        np.testing.assert_allclose(out, [1.0, 6.0])
+
+    def test_logical_op_rejected_on_floats(self):
+        from repro.ncore import ExecutionError
+
+        with pytest.raises(ExecutionError):
+            npu.execute_float(
+                op(NPUOpcode.XOR), np.float32([1]), np.float32([1]), np.float32([0]), None
+            )
+
+
+class TestSlide:
+    def test_slide_moves_by_one_slice(self):
+        data = np.arange(4096, dtype=np.int32)
+        out = npu.slide_from_neighbor(data)
+        # Lane 256 now holds what lane 0 held.
+        assert out[256] == 0
+        assert out[0] == 4096 - 256  # wraparound from the last slice
+
+    def test_sixteen_slides_wrap_fully(self):
+        # With 16 slices, 16 slides bring data back home: "wraparound from
+        # the last slice back to the first".
+        data = np.arange(4096, dtype=np.int32)
+        out = data
+        for _ in range(16):
+            out = npu.slide_from_neighbor(out)
+        np.testing.assert_array_equal(out, data)
+
+
+class TestCompare:
+    def test_cmpgt(self):
+        out = npu.compare_gt(lanes(1, 5, 3), lanes(2, 2, 3))
+        np.testing.assert_array_equal(out, [False, True, False])

@@ -1,0 +1,161 @@
+"""Tests for the OUT unit: requantization, activations, row narrowing."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.dtypes import NcoreDType, bf16_from_bits, quantize_multiplier, requantize
+from repro.isa.instruction import Activation
+from repro.ncore import out as out_unit
+
+
+class TestRequantizeLanes:
+    def test_identity(self):
+        m, s = quantize_multiplier(1.0)
+        acc = np.array([5, -3, 127], dtype=np.int32)
+        vals = out_unit.requantize_lanes(
+            acc,
+            np.full(3, m, np.int64),
+            np.full(3, s, np.int64),
+            np.zeros(3, np.int64),
+            NcoreDType.INT8,
+        )
+        np.testing.assert_array_equal(vals, [5, -3, 127])
+
+    def test_per_lane_parameters(self):
+        # Different channels (lanes) can carry different requant params.
+        m1, s1 = quantize_multiplier(1.0)
+        m2, s2 = quantize_multiplier(0.5)
+        acc = np.array([100, 100], dtype=np.int32)
+        vals = out_unit.requantize_lanes(
+            acc,
+            np.array([m1, m2], np.int64),
+            np.array([s1, s2], np.int64),
+            np.array([0, 10], np.int64),
+            NcoreDType.INT8,
+        )
+        np.testing.assert_array_equal(vals, [100, 60])
+
+    @given(
+        npst.arrays(np.int32, 16, elements=st.integers(-(2**24), 2**24)),
+        st.floats(min_value=1e-4, max_value=2.0, allow_nan=False),
+        st.integers(-100, 100),
+    )
+    def test_matches_scalar_requantize(self, acc, real_mult, offset):
+        # The vectorised per-lane path must agree bit-exactly with the
+        # scalar gemmlowp-style reference in repro.dtypes.
+        m, s = quantize_multiplier(real_mult)
+        lanes = acc.size
+        vals = out_unit.requantize_lanes(
+            acc,
+            np.full(lanes, m, np.int64),
+            np.full(lanes, s, np.int64),
+            np.full(lanes, offset, np.int64),
+            NcoreDType.INT16,
+        )
+        expected = requantize(acc, m, s, offset, NcoreDType.INT16)
+        np.testing.assert_array_equal(vals, expected.astype(np.int32))
+
+
+class TestIntegerActivation:
+    def test_relu_clamps_at_zero_point(self):
+        vals = np.array([-5, 0, 5], dtype=np.int32)
+        zp = np.zeros(3, dtype=np.int64)
+        out = out_unit.apply_integer_activation(
+            vals, Activation.RELU, zp, 255, None, NcoreDType.INT8
+        )
+        np.testing.assert_array_equal(out, [0, 0, 5])
+
+    def test_relu_respects_nonzero_zero_point(self):
+        vals = np.array([100, 128, 200], dtype=np.int32)
+        zp = np.full(3, 128, dtype=np.int64)
+        out = out_unit.apply_integer_activation(
+            vals, Activation.RELU, zp, 255, None, NcoreDType.UINT8
+        )
+        np.testing.assert_array_equal(out, [128, 128, 200])
+
+    def test_relu6_upper_clamp(self):
+        vals = np.array([0, 100, 250], dtype=np.int32)
+        zp = np.zeros(3, dtype=np.int64)
+        out = out_unit.apply_integer_activation(
+            vals, Activation.RELU6, zp, 200, None, NcoreDType.UINT8
+        )
+        np.testing.assert_array_equal(out, [0, 100, 200])
+
+    def test_lut_activation(self):
+        lut = np.arange(255, -1, -1, dtype=np.int32)  # inverting table
+        vals = np.array([0, 255], dtype=np.int32)
+        out = out_unit.apply_integer_activation(
+            vals, Activation.SIGMOID, np.zeros(2, np.int64), 255, lut, NcoreDType.UINT8
+        )
+        np.testing.assert_array_equal(out, [255, 0])
+
+    def test_lut_required_for_tanh(self):
+        from repro.ncore import ExecutionError
+
+        with pytest.raises(ExecutionError):
+            out_unit.apply_integer_activation(
+                np.zeros(1, np.int32), Activation.TANH, np.zeros(1, np.int64), 255, None,
+                NcoreDType.UINT8,
+            )
+
+    def test_none_is_passthrough(self):
+        vals = np.array([-3, 9], dtype=np.int32)
+        out = out_unit.apply_integer_activation(
+            vals, Activation.NONE, np.zeros(2, np.int64), 255, None, NcoreDType.INT8
+        )
+        np.testing.assert_array_equal(out, vals)
+
+
+class TestNarrowToRows:
+    def test_8bit_fills_low_row(self):
+        vals = np.array([-1, 0, 127], dtype=np.int32)
+        low, high = out_unit.narrow_to_rows(vals, NcoreDType.INT8)
+        np.testing.assert_array_equal(low, [0xFF, 0, 127])
+        assert not high.any()
+
+    def test_16bit_splits_low_high(self):
+        # Section IV-C.2: low bytes in one row, high bytes in the next.
+        vals = np.array([0x1234, -2], dtype=np.int32)
+        low, high = out_unit.narrow_to_rows(vals, NcoreDType.INT16)
+        np.testing.assert_array_equal(low, [0x34, 0xFE])
+        np.testing.assert_array_equal(high, [0x12, 0xFF])
+
+    @given(npst.arrays(np.int32, 64, elements=st.integers(-32768, 32767)))
+    def test_16bit_reassembles(self, vals):
+        low, high = out_unit.narrow_to_rows(vals, NcoreDType.INT16)
+        rebuilt = (low.astype(np.uint16) | (high.astype(np.uint16) << 8)).view(np.int16)
+        np.testing.assert_array_equal(rebuilt, vals.astype(np.int16))
+
+
+class TestFloatOutput:
+    def test_scale_and_round_to_bf16(self):
+        acc = np.array([1.0, -2.0], dtype=np.float32)
+        low, high = out_unit.float_output_rows(acc, 0.5, Activation.NONE)
+        bits = low.astype(np.uint16) | (high.astype(np.uint16) << 8)
+        np.testing.assert_allclose(bf16_from_bits(bits), [0.5, -1.0])
+
+    def test_relu_in_float_domain(self):
+        acc = np.array([-4.0, 4.0], dtype=np.float32)
+        low, high = out_unit.float_output_rows(acc, 1.0, Activation.RELU)
+        bits = low.astype(np.uint16) | (high.astype(np.uint16) << 8)
+        np.testing.assert_allclose(bf16_from_bits(bits), [0.0, 4.0])
+
+    def test_tanh_sigmoid_in_float_domain(self):
+        acc = np.array([0.0], dtype=np.float32)
+        low, high = out_unit.float_output_rows(acc, 1.0, Activation.TANH)
+        bits = low.astype(np.uint16) | (high.astype(np.uint16) << 8)
+        assert bf16_from_bits(bits)[0] == 0.0
+        low, high = out_unit.float_output_rows(acc, 1.0, Activation.SIGMOID)
+        bits = low.astype(np.uint16) | (high.astype(np.uint16) << 8)
+        np.testing.assert_allclose(bf16_from_bits(bits), [0.5])
+
+    @given(npst.arrays(np.float32, 32, elements=st.floats(-1e3, 1e3, width=32)))
+    def test_bf16_rows_reassemble_to_rounded_values(self, acc):
+        from repro.dtypes import to_bfloat16
+
+        low, high = out_unit.float_output_rows(acc, 1.0, Activation.NONE)
+        bits = low.astype(np.uint16) | (high.astype(np.uint16) << 8)
+        np.testing.assert_array_equal(bf16_from_bits(bits), to_bfloat16(acc))

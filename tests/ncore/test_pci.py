@@ -1,0 +1,65 @@
+"""Tests for the Ncore PCI device model."""
+
+import pytest
+
+from repro.ncore import NcorePciDevice
+from repro.ncore.pci import CLASS_COPROCESSOR, PciAccessError, VENDOR_ID
+
+
+@pytest.fixture
+def device():
+    return NcorePciDevice(sram_bytes=16 * 1024 * 1024)
+
+
+class TestIdentity:
+    def test_reports_as_coprocessor(self, device):
+        # Ncore "is detected through the system's typical PCI enumeration
+        # as a coprocessor type" (section V-D).
+        assert device.is_coprocessor
+        assert device.config_read(0x08) >> 16 == CLASS_COPROCESSOR
+
+    def test_vendor_device_id_word(self, device):
+        word = device.config_read(0x00)
+        assert word & 0xFFFF == VENDOR_ID
+
+
+class TestBars:
+    def test_assignment_is_naturally_aligned(self, device):
+        device.assign_bars(0xE000_0000)
+        for bar in device.bars:
+            assert bar.address is not None
+            assert bar.address % bar.size == 0
+
+    def test_sram_aperture_covers_16mb(self, device):
+        assert device.bars[2].size == 16 * 1024 * 1024
+
+    def test_assignment_returns_next_free(self, device):
+        end = device.assign_bars(0xE000_0000)
+        last = device.bars[-1]
+        assert end == last.address + last.size
+
+
+class TestProtectedFields:
+    def test_user_mode_cannot_touch_power(self, device):
+        with pytest.raises(PciAccessError):
+            device.config_write(0x40, 1, kernel_mode=False)
+
+    def test_user_mode_cannot_move_dma_window(self, device):
+        with pytest.raises(PciAccessError):
+            device.config_write(0x44, 0x1000, kernel_mode=False)
+
+    def test_kernel_mode_controls_power(self, device):
+        device.config_write(0x40, 1, kernel_mode=True)
+        assert device.powered_on
+        device.config_write(0x40, 0, kernel_mode=True)
+        assert not device.powered_on
+
+    def test_kernel_mode_configures_dma_window(self, device):
+        device.config_write(0x44, 0xDEAD0000, kernel_mode=True)
+        device.config_write(0x48, 0x1, kernel_mode=True)
+        assert device.dma_window_base == 0x1_DEAD0000
+        assert device.config_read(0x44) == 0xDEAD0000
+        assert device.config_read(0x48) == 0x1
+
+    def test_unprotected_writes_ignored(self, device):
+        device.config_write(0x10, 0x12345678, kernel_mode=False)  # no error

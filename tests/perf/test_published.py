@@ -1,0 +1,67 @@
+"""Tests for the published-results module and the section VI-B ratios."""
+
+import pytest
+
+from repro.perf import published
+
+
+class TestTables:
+    def test_all_systems_cover_all_models(self):
+        for table in (published.PUBLISHED_LATENCY_MS, published.PUBLISHED_THROUGHPUT_IPS):
+            for system, row in table.items():
+                assert set(row) == set(published.MODELS), system
+
+    def test_centaur_rows_match_paper_headlines(self):
+        ncore = published.PUBLISHED_LATENCY_MS["Centaur Ncore"]
+        assert ncore["mobilenet_v1"] == 0.33
+        assert ncore["resnet50_v15"] == 1.05
+        throughput = published.PUBLISHED_THROUGHPUT_IPS["Centaur Ncore"]
+        assert throughput["resnet50_v15"] == 1218.48
+        assert throughput["gnmt"] == 12.28
+
+    def test_only_centaur_submitted_gnmt(self):
+        # "Centaur was the only chip vendor to submit results for the
+        # relatively memory-intensive GNMT."
+        for system, row in published.PUBLISHED_THROUGHPUT_IPS.items():
+            if system == "Centaur Ncore":
+                assert row["gnmt"] is not None
+            else:
+                assert row["gnmt"] is None
+
+    def test_submitter_types_table6(self):
+        assert "Centaur" in published.SUBMITTER_TYPES["Chip vendors"]
+        assert len(published.SUBMITTER_TYPES) == 4
+
+
+class TestHeadlineClaims:
+    def test_ncore_lowest_published_latency_on_mobilenet_and_resnet(self):
+        # "Ncore achieves the lowest latency in MobileNet-V1 (0.33 ms) and
+        # ResNet-50-V1.5 (1.05 ms)".
+        for model in ("mobilenet_v1", "resnet50_v15"):
+            latencies = {
+                system: row[model]
+                for system, row in published.PUBLISHED_LATENCY_MS.items()
+                if row[model] is not None
+            }
+            assert min(latencies, key=latencies.get) == "Centaur Ncore"
+
+    def test_mobilenet_within_8_percent_of_xavier(self):
+        ncore = published.PUBLISHED_THROUGHPUT_IPS["Centaur Ncore"]["mobilenet_v1"]
+        xavier = published.PUBLISHED_THROUGHPUT_IPS["NVIDIA AGX Xavier"]["mobilenet_v1"]
+        assert abs(xavier - ncore) / ncore < 0.08
+
+    def test_xavier_resnet_throughput_77_percent_faster(self):
+        ncore = published.PUBLISHED_THROUGHPUT_IPS["Centaur Ncore"]["resnet50_v15"]
+        xavier = published.PUBLISHED_THROUGHPUT_IPS["NVIDIA AGX Xavier"]["resnet50_v15"]
+        assert xavier / ncore == pytest.approx(1.77, abs=0.02)
+
+    def test_vnni_core_equivalence_is_23x(self):
+        # "Ncore's throughput is equivalent to approximately 23 of these
+        # VNNI-enabled Xeon cores."
+        assert published.ncore_vnni_core_equivalence() == pytest.approx(22.9, abs=0.3)
+        assert published.per_core_resnet_ips() == pytest.approx(53.3, abs=0.1)
+
+    def test_per_ice_speedup_is_2_77x(self):
+        # "2.77x higher than a single 4096-byte ICE."
+        assert published.per_ice_resnet_ips() == pytest.approx(440, abs=1)
+        assert published.ncore_per_ice_speedup() == pytest.approx(2.77, abs=0.01)

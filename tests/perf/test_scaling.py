@@ -1,0 +1,95 @@
+"""Tests for the Fig. 13 / Fig. 14 core-count scaling models."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.perf.published import PAPER_WORKLOAD_SPLIT_MS
+from repro.perf.scaling import (
+    cores_to_saturate,
+    expected_throughput,
+    observed_throughput,
+)
+
+
+def paper_portions(model):
+    row = PAPER_WORKLOAD_SPLIT_MS[model]
+    return row["ncore"] * 1e-3, row["x86"] * 1e-3
+
+
+class TestExpected:
+    def test_single_core_is_fully_serial(self):
+        t_nc, t_x86 = paper_portions("resnet50_v15")
+        assert expected_throughput(t_nc, t_x86, 1) == pytest.approx(1 / (t_nc + t_x86))
+
+    def test_saturates_at_ncore_bound(self):
+        t_nc, t_x86 = paper_portions("resnet50_v15")
+        assert expected_throughput(t_nc, t_x86, 8) == pytest.approx(1 / t_nc)
+
+    def test_monotone_in_cores(self):
+        t_nc, t_x86 = paper_portions("mobilenet_v1")
+        values = [expected_throughput(t_nc, t_x86, n) for n in range(1, 9)]
+        assert all(a <= b + 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_paper_core_requirements(self):
+        # Fig. 13 reading: ResNet-50 saturates with 2 cores, MobileNet with
+        # ~4 and SSD-MobileNet with 5 (the paper's stated numbers; with the
+        # rounded Table IX values MobileNet's boundary case lands on 3).
+        resnet = cores_to_saturate(*paper_portions("resnet50_v15"))
+        mobilenet = cores_to_saturate(*paper_portions("mobilenet_v1"))
+        ssd = cores_to_saturate(*paper_portions("ssd_mobilenet_v1"))
+        assert resnet == 2
+        assert mobilenet in (3, 4)
+        assert ssd == 5
+        assert resnet < mobilenet < ssd
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ValueError):
+            expected_throughput(1e-3, 1e-3, 0)
+
+    @given(
+        st.floats(1e-5, 1e-2),
+        st.floats(1e-5, 1e-2),
+        st.integers(1, 16),
+    )
+    def test_never_exceeds_ncore_bound(self, t_nc, t_x86, cores):
+        assert expected_throughput(t_nc, t_x86, cores) <= 1 / t_nc + 1e-6
+
+
+class TestObserved:
+    def test_observed_below_expected(self):
+        # Fig. 14's curves sit under Fig. 13's: "limited by other x86
+        # overhead not accounted" for.
+        t_nc, t_x86 = paper_portions("mobilenet_v1")
+        for cores in range(2, 9):
+            assert observed_throughput(t_nc, t_x86, cores) < expected_throughput(
+                t_nc, t_x86, cores
+            )
+
+    def test_observed_matches_paper_at_8_cores(self):
+        # Calibration check: the observed model at 8 cores lands near the
+        # paper's submitted throughputs (computed from Table IX portions).
+        t_nc, t_x86 = paper_portions("resnet50_v15")
+        assert observed_throughput(t_nc, t_x86, 8) == pytest.approx(1218, rel=0.05)
+        t_nc, t_x86 = paper_portions("mobilenet_v1")
+        assert observed_throughput(t_nc, t_x86, 8) == pytest.approx(6042, rel=0.10)
+
+    def test_batching_speedup_shape(self):
+        # Section VI-C: batching yields ~2x for MobileNet but only ~1.3x
+        # for ResNet (x86 share 67% vs 32%).
+        t_nc, t_x86 = paper_portions("mobilenet_v1")
+        mobilenet_speedup = observed_throughput(t_nc, t_x86, 8) * (t_nc + t_x86)
+        t_nc, t_x86 = paper_portions("resnet50_v15")
+        resnet_speedup = observed_throughput(t_nc, t_x86, 8) * (t_nc + t_x86)
+        assert mobilenet_speedup == pytest.approx(2.0, abs=0.35)
+        assert resnet_speedup == pytest.approx(1.3, abs=0.2)
+        assert mobilenet_speedup > resnet_speedup
+
+    def test_single_core_equals_serial(self):
+        t_nc, t_x86 = paper_portions("ssd_mobilenet_v1")
+        assert observed_throughput(t_nc, t_x86, 1) == pytest.approx(1 / (t_nc + t_x86))
+
+    def test_monotone_in_cores(self):
+        t_nc, t_x86 = paper_portions("ssd_mobilenet_v1")
+        values = [observed_throughput(t_nc, t_x86, n) for n in range(1, 9)]
+        assert all(a <= b + 1e-9 for a, b in zip(values, values[1:]))

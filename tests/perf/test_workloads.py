@@ -1,0 +1,105 @@
+"""Unit tests for the x86 workload model (Table IX components)."""
+
+import pytest
+
+from repro.perf.workloads import (
+    HARNESS_FIXED_SECONDS,
+    PER_NODE_DISPATCH_SECONDS,
+    X86Portion,
+    preprocess_seconds,
+    x86_portion_seconds,
+)
+from repro.soc.x86 import X86Core
+
+
+class TestPreprocess:
+    def test_image_cost_scales_with_pixels(self):
+        core = X86Core()
+        small = preprocess_seconds("image", 224 * 224 * 3, core)
+        large = preprocess_seconds("image", 300 * 300 * 3, core)
+        assert large > small
+        assert large / small == pytest.approx((300 / 224) ** 2, rel=0.05)
+
+    def test_image_preprocess_sub_millisecond(self):
+        # A 224x224 preprocess is a fraction of the 0.22 ms MobileNet x86
+        # portion (Table IX) — most of that portion is software overhead.
+        core = X86Core()
+        assert preprocess_seconds("image", 224 * 224 * 3, core) < 0.2e-3
+
+    def test_text_cost_is_small_and_fixed(self):
+        core = X86Core()
+        assert preprocess_seconds("text", 100, core) < 50e-6
+
+
+class TestX86Portion:
+    def _portion(self, nodes=50, graph_seconds=0.0, nonbatchable=0.0):
+        from repro.perf.system import get_system
+
+        model = get_system("mobilenet_v1").compiled
+        return x86_portion_seconds(
+            model, "image", 224 * 224 * 3, graph_seconds,
+            nonbatchable_graph_seconds=nonbatchable,
+        )
+
+    def test_components_sum(self):
+        portion = self._portion(graph_seconds=1e-4)
+        assert portion.total_seconds == pytest.approx(
+            portion.preprocess_seconds
+            + portion.graph_seconds
+            + portion.framework_seconds
+        )
+
+    def test_framework_includes_per_node_dispatch(self):
+        from repro.perf.system import get_system
+
+        model = get_system("mobilenet_v1").compiled
+        portion = x86_portion_seconds(model, "image", 224 * 224 * 3, 0.0)
+        expected = (
+            PER_NODE_DISPATCH_SECONDS * len(model.graph.nodes) + HARNESS_FIXED_SECONDS
+        )
+        assert portion.framework_seconds == pytest.approx(expected)
+
+    def test_nonbatchable_fraction(self):
+        portion = self._portion(graph_seconds=4e-4, nonbatchable=2e-4)
+        nonbatchable = portion.total_seconds * (1 - portion.batchable_fraction)
+        assert nonbatchable == pytest.approx(2e-4, rel=1e-6)
+
+    def test_fully_batchable_by_default(self):
+        portion = self._portion(graph_seconds=1e-4)
+        assert portion.batchable_fraction == pytest.approx(1.0)
+
+
+class TestBatchedAmortization:
+    """ncore_seconds_batched: the 'batch 64 to increase arithmetic
+    intensity' model (section VI-A)."""
+
+    def test_pinned_model_unchanged_by_batching(self):
+        from repro.perf.system import get_system
+
+        system = get_system("mobilenet_v1")  # weights pinned
+        single = system.ncore_seconds_batched(1)
+        batched = system.ncore_seconds_batched(64)
+        assert batched == pytest.approx(single, rel=0.01)
+
+    def test_streamed_model_amortizes(self):
+        from repro.perf.system import get_system
+
+        system = get_system("gnmt")  # weights streamed every step
+        per_item = [system.ncore_seconds_batched(b) for b in (1, 8, 64)]
+        assert per_item[0] > per_item[1] > per_item[2]
+        # Batch 64 amortizes the 260 MB weight stream by >10x.
+        assert per_item[0] / per_item[2] > 10
+
+    def test_batch_must_be_positive(self):
+        from repro.perf.system import get_system
+
+        with pytest.raises(ValueError):
+            get_system("mobilenet_v1").ncore_seconds_batched(0)
+
+    def test_amortization_saturates_at_compute_bound(self):
+        from repro.perf.system import get_system
+
+        system = get_system("gnmt")
+        big = system.ncore_seconds_batched(1024)
+        huge = system.ncore_seconds_batched(8192)
+        assert huge == pytest.approx(big, rel=0.05)

@@ -1,0 +1,43 @@
+"""Tests for calibration range observation."""
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph, Node, Tensor, TensorType
+from repro.quantize import calibrate
+
+
+def relu_graph():
+    g = Graph()
+    g.add_input("x", TensorType((1, 8)))
+    g.add_tensor(Tensor("y", TensorType((1, 8))))
+    g.add_node(Node("r", "relu", ["x"], ["y"]))
+    g.mark_output("y")
+    return g
+
+
+class TestCalibrate:
+    def test_requires_batches(self):
+        with pytest.raises(ValueError):
+            calibrate(relu_graph(), [])
+
+    def test_observes_inputs_and_activations(self):
+        g = relu_graph()
+        batch = {"x": np.array([[-2.0, 0.0, 3.0, 1, 1, 1, 1, 1]], np.float32)}
+        result = calibrate(g, [batch])
+        assert result.range_of("x") == (-2.0, 3.0)
+        assert result.range_of("y") == (0.0, 3.0)  # post-relu range
+
+    def test_ranges_merge_across_batches(self):
+        g = relu_graph()
+        batches = [
+            {"x": np.full((1, 8), -5.0, np.float32)},
+            {"x": np.full((1, 8), 9.0, np.float32)},
+        ]
+        result = calibrate(g, batches)
+        assert result.range_of("x") == (-5.0, 9.0)
+
+    def test_unobserved_tensor_raises(self):
+        result = calibrate(relu_graph(), [{"x": np.zeros((1, 8), np.float32)}])
+        with pytest.raises(KeyError):
+            result.range_of("nope")

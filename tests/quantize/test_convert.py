@@ -1,0 +1,135 @@
+"""Tests for the quantized-model converter (float -> uint8, float -> bf16)."""
+
+import numpy as np
+import pytest
+
+from repro.dtypes import NcoreDType
+from repro.graph import Graph, Node, Tensor, TensorType, execute_float
+from repro.quantize import calibrate, convert_to_bf16, quantize_graph
+from repro.runtime import execute_quantized
+
+
+def small_cnn(seed=11):
+    """conv(+bias,relu) -> maxpool -> fc: a realistic quantizable chain."""
+    rng = np.random.default_rng(seed)
+    g = Graph("smallcnn")
+    g.add_input("x", TensorType((1, 8, 8, 3)))
+    g.add_constant("w1", (rng.normal(size=(3, 3, 3, 8)) * 0.2).astype(np.float32))
+    g.add_constant("b1", (rng.normal(size=8) * 0.1).astype(np.float32))
+    g.add_constant("w2", (rng.normal(size=(4 * 4 * 8, 10)) * 0.1).astype(np.float32))
+    g.add_tensor(Tensor("c1", TensorType((1, 8, 8, 8))))
+    g.add_tensor(Tensor("p1", TensorType((1, 4, 4, 8))))
+    g.add_tensor(Tensor("f1", TensorType((1, 128))))
+    g.add_tensor(Tensor("logits", TensorType((1, 10))))
+    g.add_node(
+        Node(
+            "conv1", "conv2d", ["x", "w1", "b1"], ["c1"],
+            {"padding": ((1, 1), (1, 1)), "activation": "relu"},
+        )
+    )
+    g.add_node(Node("pool", "max_pool", ["c1"], ["p1"], {"ksize": (2, 2), "stride": (2, 2)}))
+    g.add_node(Node("flat", "reshape", ["p1"], ["f1"], {"shape": (1, 128)}))
+    g.add_node(Node("fc", "fully_connected", ["f1", "w2"], ["logits"]))
+    g.mark_output("logits")
+    return g
+
+
+def calibration_batches(count=4, seed=5):
+    rng = np.random.default_rng(seed)
+    return [
+        {"x": rng.uniform(-1, 1, size=(1, 8, 8, 3)).astype(np.float32)}
+        for _ in range(count)
+    ]
+
+
+class TestQuantizeGraph:
+    def test_structure(self):
+        g = small_cnn()
+        qg = quantize_graph(g, calibrate(g, calibration_batches()))
+        qg.validate()
+        # A quantize node at the input boundary, dequantize at the output
+        # (the reshape runs in float on x86 and forces a boundary too).
+        assert qg.find_nodes("quantize")
+        assert qg.find_nodes("dequantize")
+        conv = qg.node("conv1")
+        assert qg.tensor(conv.outputs[0]).type.dtype is NcoreDType.UINT8
+        assert qg.tensor(conv.inputs[1]).type.dtype is NcoreDType.UINT8
+        assert qg.tensor(conv.inputs[2]).type.dtype == "int32"  # bias
+
+    def test_pool_preserves_input_qparams(self):
+        g = small_cnn()
+        qg = quantize_graph(g, calibrate(g, calibration_batches()))
+        pool = qg.node("pool")
+        assert qg.tensor(pool.outputs[0]).quant == qg.tensor(pool.inputs[0]).quant
+
+    def test_numerical_fidelity(self):
+        # The quantized graph must track the float graph closely — the
+        # paper's premise that 8-bit PTQ gives "small reductions in
+        # accuracy".
+        g = small_cnn()
+        cal = calibrate(g, calibration_batches())
+        qg = quantize_graph(g, cal)
+        feeds = calibration_batches(count=1, seed=99)[0]
+        float_out = list(execute_float(g, feeds).values())[0]
+        quant_out = list(execute_quantized(qg, feeds).values())[0]
+        scale = np.abs(float_out).max()
+        assert np.abs(quant_out - float_out).max() < 0.1 * scale
+
+    def test_argmax_agreement(self):
+        # Classification decisions should almost always agree.
+        g = small_cnn()
+        cal = calibrate(g, calibration_batches())
+        qg = quantize_graph(g, cal)
+        agree = 0
+        for i in range(10):
+            feeds = calibration_batches(count=1, seed=1000 + i)[0]
+            f = list(execute_float(g, feeds).values())[0]
+            q = list(execute_quantized(qg, feeds).values())[0]
+            agree += int(np.argmax(f) == np.argmax(q))
+        assert agree >= 9
+
+    def test_rejects_float_target(self):
+        g = small_cnn()
+        with pytest.raises(ValueError):
+            quantize_graph(g, calibrate(g, calibration_batches()), NcoreDType.BF16)
+
+    def test_residual_add_quantizes(self):
+        rng = np.random.default_rng(3)
+        g = Graph()
+        g.add_input("x", TensorType((1, 4, 4, 8)))
+        g.add_constant("w", (rng.normal(size=(1, 1, 8, 8)) * 0.3).astype(np.float32))
+        g.add_tensor(Tensor("c", TensorType((1, 4, 4, 8))))
+        g.add_tensor(Tensor("s", TensorType((1, 4, 4, 8))))
+        g.add_node(Node("conv", "conv2d", ["x", "w"], ["c"]))
+        g.add_node(Node("res", "add", ["c", "x"], ["s"], {"activation": "relu"}))
+        g.mark_output("s")
+        feeds = {"x": rng.uniform(-1, 1, size=(1, 4, 4, 8)).astype(np.float32)}
+        cal = calibrate(g, [feeds])
+        qg = quantize_graph(g, cal)
+        f = list(execute_float(g, feeds).values())[0]
+        q = list(execute_quantized(qg, feeds).values())[0]
+        assert np.abs(q - f).max() < 0.1 * max(1e-3, np.abs(f).max())
+
+
+class TestBf16Conversion:
+    def test_constants_rounded(self):
+        g = small_cnn()
+        bg = convert_to_bf16(g)
+        w = bg.tensor("w1")
+        assert w.type.dtype is NcoreDType.BF16
+        # Every stored value is exactly representable in bfloat16.
+        from repro.dtypes import to_bfloat16
+
+        np.testing.assert_array_equal(w.data, to_bfloat16(w.data))
+
+    def test_activations_retyped(self):
+        bg = convert_to_bf16(small_cnn())
+        assert bg.tensor("c1").type.dtype is NcoreDType.BF16
+
+    def test_bf16_outputs_close_to_float(self):
+        g = small_cnn()
+        bg = convert_to_bf16(small_cnn())
+        feeds = calibration_batches(count=1)[0]
+        f = list(execute_float(g, feeds).values())[0]
+        b = list(execute_quantized(bg, feeds).values())[0]
+        assert np.abs(b - f).max() < 0.05 * max(1e-3, np.abs(f).max())

@@ -1,0 +1,75 @@
+"""Tests for the event-log profiler (Fig. 10 traces)."""
+
+import numpy as np
+import pytest
+
+from repro.isa import assemble
+from repro.ncore import Ncore
+from repro.runtime.profiler import Profiler
+
+
+def region(source: str):
+    return assemble(source)
+
+
+class TestProfiler:
+    def _trace(self):
+        machine = Ncore()
+        machine.write_data_ram(0, bytes(np.full(4096, 1, np.uint8)))
+        machine.write_weight_ram(0, bytes(np.full(4096, 1, np.uint8)))
+        profiler = Profiler(machine)
+        program = profiler.instrument(
+            [
+                ("setup", region("setaddr a0, 0\nsetaddr a1, 0")),
+                ("compute", region("loop 10 {\n  mac dram[a0], wtram[a1]\n}")),
+                ("writeback", region("setaddr a6, 4\nrequant.uint8\nstore a6")),
+            ]
+        )
+        return profiler.run(program)
+
+    def test_spans_cover_named_regions(self):
+        trace = self._trace()
+        assert [s.name for s in trace.spans] == ["setup", "compute", "writeback"]
+
+    def test_compute_span_has_the_cycles(self):
+        trace = self._trace()
+        compute = trace.span("compute")
+        # marker + 10 fused MAC cycles land inside the compute span.
+        assert compute.cycles >= 10
+        assert compute.cycles > trace.span("setup").cycles
+
+    def test_spans_are_contiguous_and_ordered(self):
+        trace = self._trace()
+        for a, b in zip(trace.spans, trace.spans[1:]):
+            assert a.end_cycle == b.start_cycle
+            assert a.start_cycle < a.end_cycle
+
+    def test_instrumentation_is_free(self):
+        # Section IV-F: "logging poses no performance penalty" — the only
+        # added cycles are the marker instructions themselves (1 each).
+        machine = Ncore()
+        body = region("loop 10 {\n  mac dram[a0], wtram[a1]\n}")
+        baseline = machine.execute_program(body + assemble("halt")).cycles
+        machine.reset()
+        profiler = Profiler(machine)
+        trace = profiler.run(profiler.instrument([("all", body)]))
+        assert trace.total_cycles == baseline + 2  # two markers
+
+    def test_render_is_fig10_like(self):
+        trace = self._trace()
+        text = trace.render()
+        assert "Ncore trace" in text
+        assert "compute" in text
+        assert "#" in text
+
+    def test_unknown_span_lookup(self):
+        trace = self._trace()
+        with pytest.raises(KeyError):
+            trace.span("nope")
+
+    def test_marker_budget_enforced(self):
+        profiler = Profiler(Ncore())
+        for _ in range(16):
+            profiler.marker("x")
+        with pytest.raises(ValueError, match="markers"):
+            profiler.marker("overflow")

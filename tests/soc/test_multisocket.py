@@ -1,0 +1,41 @@
+"""Tests for multi-socket scale-out."""
+
+import pytest
+
+from repro.soc.multisocket import MultiSocketSystem
+
+
+class TestMultiSocket:
+    def test_single_socket_is_identity(self):
+        system = MultiSocketSystem(sockets=1)
+        assert system.scaling_factor() == 1.0
+        assert system.offline_throughput_ips(1000.0) == 1000.0
+
+    def test_two_sockets_nearly_double_throughput(self):
+        system = MultiSocketSystem(sockets=2)
+        assert 1.9 < system.scaling_factor() < 2.0
+
+    def test_scaling_is_sublinear(self):
+        factors = [MultiSocketSystem(n).scaling_factor() / n for n in (1, 2, 4, 8)]
+        assert factors == sorted(factors, reverse=True)
+
+    def test_latency_unchanged_by_sockets(self):
+        system = MultiSocketSystem(sockets=4)
+        assert system.single_stream_latency_seconds(1e-3) == 1e-3
+
+    def test_core_count(self):
+        assert MultiSocketSystem(sockets=2).total_x86_cores() == 16
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultiSocketSystem(sockets=0)
+
+    def test_resnet_two_socket_projection(self):
+        # Scale-out context: two CHA sockets would roughly double ResNet
+        # throughput, closing part of the gap to Xavier.
+        from repro.perf.published import PUBLISHED_THROUGHPUT_IPS
+
+        single = PUBLISHED_THROUGHPUT_IPS["Centaur Ncore"]["resnet50_v15"]
+        xavier = PUBLISHED_THROUGHPUT_IPS["NVIDIA AGX Xavier"]["resnet50_v15"]
+        dual = MultiSocketSystem(2).offline_throughput_ips(single)
+        assert dual > xavier  # two sockets overtake the Xavier submission

@@ -1,0 +1,85 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+class TestInfo:
+    def test_prints_configuration(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "20.48 TOPS" in out
+        assert "160 GB/s" in out
+        assert "16 MB" in out
+
+
+class TestSelftest:
+    def test_post_passes(self, capsys):
+        assert main(["selftest"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("PASS") == 4
+        assert "POST passed" in out
+
+
+class TestModels:
+    def test_lists_zoo(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        for key in ("mobilenet_v1", "resnet50_v15", "ssd_mobilenet_v1", "gnmt"):
+            assert key in out
+
+
+class TestBench:
+    def test_benchmarks_a_model(self, capsys):
+        assert main(["bench", "mobilenet_v1"]) == 0
+        out = capsys.readouterr().out
+        assert "SingleStream latency" in out
+        assert "Offline throughput" in out
+
+    def test_unknown_model_errors(self, capsys):
+        assert main(["bench", "alexnet"]) == 2
+        assert "unknown model" in capsys.readouterr().err
+
+
+class TestCompileAndRun:
+    @pytest.fixture
+    def saved_graph(self, tmp_path):
+        from repro.graph.frontends import save_graph
+        from tests.quantize.test_convert import small_cnn
+
+        save_graph(small_cnn(), tmp_path / "model")
+        return str(tmp_path / "model")
+
+    def test_compile_reports_summary(self, saved_graph, capsys):
+        assert main(["compile", saved_graph]) == 0
+        out = capsys.readouterr().out
+        assert "segments" in out
+        assert "Ncore portion" in out
+
+    def test_run_executes(self, saved_graph, capsys):
+        assert main(["run", saved_graph, "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "output" in out
+        assert "latency" in out
+
+    def test_run_is_seed_deterministic(self, saved_graph, capsys):
+        main(["run", saved_graph, "--seed", "3"])
+        first = capsys.readouterr().out
+        main(["run", saved_graph, "--seed", "3"])
+        second = capsys.readouterr().out
+        assert first == second
+
+
+class TestReproduce:
+    def test_full_report_renders(self, capsys):
+        assert main(["reproduce"]) == 0
+        out = capsys.readouterr().out
+        for heading in (
+            "Table II", "Table V", "Table VII", "Table VIII", "Table IX",
+            "Fig. 13", "Fig. 14",
+        ):
+            assert heading in out
+        assert "Ncore (simulated)" in out
+        assert "NVIDIA AGX Xavier" in out
