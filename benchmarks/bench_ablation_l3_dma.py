@@ -9,7 +9,6 @@ path lacks.
 """
 
 import numpy as np
-import pytest
 
 from repro.isa import assemble
 from repro.ncore import DmaDescriptor

@@ -7,7 +7,6 @@ with breadth while the realized speedup flattens as per-pass overheads and
 mapping waste grow — the quantitative version of the sizing decision.
 """
 
-import pytest
 
 from repro.ncore import NcoreConfig
 from repro.nkl.schedule import conv2d_schedule

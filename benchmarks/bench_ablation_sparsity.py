@@ -8,7 +8,6 @@ the stalls the dense schedule pays.
 """
 
 import numpy as np
-import pytest
 
 from repro.graph import partition
 from repro.graph.passes import default_pipeline

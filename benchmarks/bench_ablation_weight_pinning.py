@@ -9,7 +9,6 @@ streaming forced on.
 
 import copy
 
-import pytest
 
 from tableutil import render_table, system
 

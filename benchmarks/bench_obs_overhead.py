@@ -1,0 +1,104 @@
+"""Guard for the observability zero-cost contract.
+
+Section IV-F claims the debug fabric "poses no performance penalty on
+Ncore"; the software mirrors that with null-object defaults — when no
+tracer/metrics registry is installed, every instrumentation site reduces
+to one module-global lookup plus an ``enabled`` check, placed at per-run
+(not per-cycle) granularity.
+
+Two assertions keep that true as instrumentation spreads:
+
+- the workload from ``bench_simulator.py`` must run within 2% of its speed
+  with a *live* tracer+registry installed (catches anyone adding
+  per-instruction spans to the hot loop), and
+- the null-path guard itself must cost <2% of one workload run even if
+  every site fired hundreds of times (catches unguarded work ahead of the
+  ``enabled`` check).
+
+Run:  python -m pytest benchmarks/bench_obs_overhead.py -q
+"""
+
+import time
+
+from bench_simulator import build_machine
+
+from repro import obs
+from repro.obs.metrics import get_metrics
+from repro.obs.tracer import get_tracer
+
+REPEATS = 30
+OVERHEAD_BUDGET = 0.02
+
+
+def _min_seconds(fn, repeats=REPEATS):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _timed_pair():
+    """Interleaved min-of-repeats: null path vs live-tracer path."""
+    machine, program = build_machine()
+
+    def run():
+        machine.reset()
+        machine.execute_program(program)
+
+    run()  # warm up caches / JIT-free but allocator-warm
+    null_best = live_best = float("inf")
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        run()
+        null_best = min(null_best, time.perf_counter() - start)
+        with obs.observe():
+            start = time.perf_counter()
+            run()
+            live_best = min(live_best, time.perf_counter() - start)
+    return null_best, live_best
+
+
+def test_live_tracer_overhead_under_budget():
+    null_best, live_best = _timed_pair()
+    overhead = live_best / null_best - 1.0
+    assert overhead < OVERHEAD_BUDGET, (
+        f"live tracer costs {overhead:.1%} on the simulator workload "
+        f"(null {null_best * 1e3:.3f} ms, live {live_best * 1e3:.3f} ms); "
+        f"instrumentation crept into the hot loop"
+    )
+
+
+def test_null_guard_cost_negligible():
+    # The full per-site null cost: global lookup + enabled check, for both
+    # the tracer and the metrics registry.
+    def guards(n=10_000):
+        for _ in range(n):
+            if get_tracer().enabled:
+                raise AssertionError("tracer unexpectedly installed")
+            if get_metrics().enabled:
+                raise AssertionError("metrics unexpectedly installed")
+
+    machine, program = build_machine()
+
+    def run():
+        machine.reset()
+        machine.execute_program(program)
+
+    run()
+    guard_cost = _min_seconds(guards) / 10_000
+    workload = _min_seconds(run, repeats=10)
+    # Even if every run touched 500 instrumentation sites, the null path
+    # must stay under the budget.
+    assert guard_cost * 500 < OVERHEAD_BUDGET * workload, (
+        f"null guard costs {guard_cost * 1e9:.0f} ns/site against a "
+        f"{workload * 1e3:.3f} ms workload"
+    )
+
+
+if __name__ == "__main__":
+    null_best, live_best = _timed_pair()
+    print(f"workload (null tracer): {null_best * 1e3:8.3f} ms")
+    print(f"workload (live tracer): {live_best * 1e3:8.3f} ms "
+          f"({live_best / null_best - 1.0:+.2%})")

@@ -7,7 +7,6 @@ the claims: near-linear throughput scaling, unchanged SingleStream latency,
 and the two-socket system overtaking the Xavier submission.
 """
 
-import pytest
 
 from repro.perf.published import PUBLISHED_THROUGHPUT_IPS
 from repro.soc.multisocket import MultiSocketSystem

@@ -6,12 +6,11 @@ the paper's claims (lowest latency on MobileNet and ResNet, near-best on
 SSD).
 """
 
-import pytest
 
 from repro.perf.mlperf import run_single_stream
 from repro.perf.published import PUBLISHED_LATENCY_MS
 
-from tableutil import CNN_ORDER, display_name, fmt, render_table, system
+from tableutil import CNN_ORDER, fmt, render_table, system
 
 
 def compute_table7():

@@ -5,7 +5,7 @@ import pytest
 from repro.perf.mlperf import run_offline
 from repro.perf.published import PUBLISHED_THROUGHPUT_IPS
 
-from tableutil import MODEL_ORDER, fmt, render_table, system
+from tableutil import MODEL_ORDER, render_table, system
 
 
 def compute_table8():

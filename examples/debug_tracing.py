@@ -4,12 +4,15 @@ Reproduces the section IV-F / Fig. 10 workflow: a convolution kernel is
 instrumented with event markers, run under the debug runtime, and the
 resulting trace is printed — then the same kernel is single-stepped with
 the n-step breakpoint and watched with a wraparound perf counter.
+Finally the same run is captured through `repro.obs` and exported as a
+Perfetto-openable Chrome trace (see docs/observability.md).
 
 Run:  python examples/debug_tracing.py
 """
 
 import numpy as np
 
+from repro import obs
 from repro.isa import assemble
 from repro.ncore import Ncore
 
@@ -85,6 +88,37 @@ def main() -> None:
             print(f"   step-stop at cycle {machine.total_cycles:4d}  "
                   f"pc={machine.pc}  acc[0]={machine.acc_int[0]}")
     print(f"   resumed to halt after {steps} stops")
+
+    print("\n== full-stack tracing (repro.obs) ==")
+    # The same workflow through the observability subsystem: install a
+    # tracer + metrics registry, run under the profiler (its spans are
+    # forwarded automatically), export Perfetto JSON and a Fig. 10 view.
+    from repro.runtime.profiler import Profiler
+
+    machine = Ncore()
+    stage_inputs(machine)
+    with obs.observe() as (tracer, metrics):
+        tracer.clock_hz = machine.config.clock_hz
+        machine.bind_metrics(metrics)
+        profiler = Profiler(machine)
+        program = profiler.instrument(
+            [
+                ("compute", assemble(
+                    "setaddr a0, 0\nsetaddr a3, 0\nsetaddr a5, 0\n"
+                    "loop 16 {\n"
+                    "  bypass n0, dram[a0++]\n"
+                    "  broadcast64 n1, wtram[a3], a5, inc\n"
+                    "  mac.uint8 n0, n1\n"
+                    "}"
+                )),
+                ("writeback", assemble("setaddr a6, 100\nrequant.uint8 relu\nstore a6")),
+            ]
+        )
+        profiler.run(program)
+    obs.write_chrome_trace("debug_tracing.trace.json", tracer, metrics)
+    print(obs.render_tracer(tracer, tracks=["ncore"]))
+    print(f"   macs (hw counter view): {metrics.get('ncore.hw.macs').value:,}")
+    print("   wrote debug_tracing.trace.json (open at https://ui.perfetto.dev)")
 
 
 if __name__ == "__main__":

@@ -51,7 +51,6 @@ def main() -> None:
 
     system = get_system("gnmt")
     info = system.info
-    g = system.compiled.graph
     print(f"   weights: {system.info.paper_weights / 1e6:.0f} M, "
           f"MACs/weight ~{info.paper_macs_per_weight} (Table V): memory-bound")
     single = system.ncore_seconds()

@@ -9,6 +9,7 @@ Commands:
 - ``reproduce``             -- regenerate every paper table/figure in one run
 - ``compile <graph-path>``  -- compile a serialized GIR and print the report
 - ``run <graph-path>``      -- execute a serialized GIR on a random input
+- ``trace <model>``         -- run one traced inference, write Perfetto JSON
 """
 
 from __future__ import annotations
@@ -136,6 +137,101 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _resolve_model_key(name: str) -> str | None:
+    """Match a zoo key exactly, by prefix, or by substring (must be unique)."""
+    from repro.models import PAPER_CHARACTERISTICS
+
+    if name in PAPER_CHARACTERISTICS:
+        return name
+    matches = [k for k in PAPER_CHARACTERISTICS if k.startswith(name)]
+    if not matches:
+        matches = [k for k in PAPER_CHARACTERISTICS if name in k]
+    return matches[0] if len(matches) == 1 else None
+
+
+def _trace_microkernel(session, tracer) -> None:
+    """Run a real instrumented program on the session's Ncore machine.
+
+    Stages one weight row through DMA (via the coherent L3 path) and runs
+    a short MAC loop bracketed with event markers, so the trace carries
+    genuine simulator event streams (event log, DMA engine, cache) and
+    not just the NKL cycle schedule.
+    """
+    from repro.isa import assemble
+    from repro.ncore import DmaDescriptor
+    from repro.runtime.profiler import Profiler
+
+    machine = session.mapping.machine()
+    payload = np.tile(np.arange(64, dtype=np.uint8), 64).tobytes()
+    machine.memory.write(session.driver.dma_address_for(0), payload)
+    machine.set_dma_descriptor(
+        0, DmaDescriptor(False, True, ram_row=0, rows=1, dram_addr=0, through_l3=True)
+    )
+    machine.write_data_ram(0, payload)
+    profiler = Profiler(machine)
+    program = profiler.instrument(
+        [
+            ("stage_weights", assemble("dmastart 0\ndmawait 1")),
+            ("compute", assemble(
+                "setaddr a0, 0\nsetaddr a3, 0\nsetaddr a5, 0\n"
+                "loop 16 {\n"
+                "  bypass n0, dram[a0]\n"
+                "  broadcast64 n1, wtram[a3], a5, inc\n"
+                "  mac.uint8 n0, n1\n"
+                "}"
+            )),
+            ("writeback", assemble("setaddr a6, 64\nrequant.uint8 relu\nstore a6")),
+        ]
+    )
+    profiler.run(program)
+
+
+def _cmd_trace(args) -> int:
+    from repro import obs
+    from repro.models import PAPER_CHARACTERISTICS
+    from repro.perf.mlperf import run_single_stream
+    from repro.perf.system import BenchmarkSystem
+    from repro.runtime import InferenceSession
+
+    key = _resolve_model_key(args.model)
+    if key is None:
+        print(f"unknown model {args.model!r}; try one of "
+              f"{sorted(PAPER_CHARACTERISTICS)}", file=sys.stderr)
+        return 2
+    if args.queries < 1:
+        print("--queries must be at least 1", file=sys.stderr)
+        return 2
+    with obs.observe() as (tracer, metrics):
+        # Compile through the delegate (GCL pipeline, partition, NKL).
+        system = BenchmarkSystem(key)
+        tracer.clock_hz = system.config.clock_hz
+        # Open the device through the kernel driver and run one inference.
+        session = InferenceSession(system.compiled, owner="repro-trace")
+        session.soc.ncore.bind_metrics(metrics)
+        feeds = system.info.sample_input(system.compiled.graph, seed=args.seed)
+        session.run(feeds)
+        # Exercise the simulator's own event streams (event log, DMA, L3).
+        _trace_microkernel(session, tracer)
+        session.close()
+        # The MLPerf harness view: a short SingleStream run.
+        result = run_single_stream(system, queries=args.queries, seed=args.seed)
+    output = args.output or f"{key}.trace.json"
+    obs.write_chrome_trace(output, tracer, metrics)
+    tracks = tracer.tracks()
+    print(f"{system.info.display}: {len(tracer.spans)} spans on "
+          f"{len(tracks)} tracks ({', '.join(tracks)})")
+    print(f"  p90 SingleStream latency: {result.p90_latency_ms:.3f} ms "
+          f"({args.queries} queries)")
+    print(f"  wrote {output} (open at https://ui.perfetto.dev)")
+    if args.metrics_csv:
+        with open(args.metrics_csv, "w", encoding="utf-8") as handle:
+            handle.write(obs.metrics_csv(metrics))
+        print(f"  wrote {args.metrics_csv} ({len(metrics.names())} metrics)")
+    if args.render:
+        print(obs.render_tracer(tracer, tracks=["ncore", "delegate.schedule"]))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Ncore/CHA reproduction toolkit"
@@ -148,6 +244,17 @@ def build_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser("bench", help="benchmark one zoo model")
     bench.add_argument("model", help="model key, e.g. resnet50_v15")
     bench.add_argument("--cores", type=int, default=8)
+    trace = sub.add_parser(
+        "trace", help="run one traced inference and write Perfetto JSON"
+    )
+    trace.add_argument("model", help="zoo model key or unique prefix, e.g. resnet")
+    trace.add_argument("-o", "--output", help="trace path (default <model>.trace.json)")
+    trace.add_argument("--queries", type=int, default=128,
+                       help="SingleStream queries to trace (default 128)")
+    trace.add_argument("--metrics-csv", help="also dump the metrics registry as CSV")
+    trace.add_argument("--render", action="store_true",
+                       help="print Fig. 10-style text trace of the Ncore tracks")
+    trace.add_argument("--seed", type=int, default=0)
     for name in ("compile", "run"):
         cmd = sub.add_parser(name, help=f"{name} a serialized GIR")
         cmd.add_argument("path", help="path prefix of the .json/.npz pair")
@@ -165,6 +272,7 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "compile": _cmd_compile,
     "run": _cmd_run,
+    "trace": _cmd_trace,
 }
 
 

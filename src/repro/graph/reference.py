@@ -180,7 +180,6 @@ def lstm_cell(
 ) -> tuple[np.ndarray, np.ndarray]:
     """One LSTM step.  Weights are ((in + hidden), 4 * hidden), gate order
     i, f, g, o (input, forget, cell, output)."""
-    hidden = h_prev.shape[-1]
     gates = np.concatenate([x, h_prev], axis=-1) @ weights + bias
     i, f, g, o = np.split(gates, 4, axis=-1)
     i = apply_activation(i, "sigmoid")

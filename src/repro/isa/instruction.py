@@ -19,7 +19,6 @@ from repro.isa.operands import (
     NUM_NDU_REGS,
     NUM_PRED_REGS,
     Operand,
-    OperandKind,
 )
 
 # Maximum NDU micro-ops per instruction: "up to three (typically two) of

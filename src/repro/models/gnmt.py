@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.graph.gir import Graph, Node, Tensor, TensorType
+from repro.graph.gir import Graph, Node
 from repro.models.common import GraphBuilder
 
 VOCAB = 28672          # sized so total weights land at Table V's 131 M

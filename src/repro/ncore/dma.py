@@ -20,6 +20,8 @@ import numpy as np
 
 from repro.isa.instruction import DMAOp
 from repro.ncore.sram import RowMemory
+from repro.obs.metrics import get_metrics
+from repro.obs.tracer import get_tracer
 
 # Re-exported name used throughout: a descriptor is just the ISA's DMAOp.
 DmaDescriptor = DMAOp
@@ -158,4 +160,22 @@ class DmaEngine:
         self.busy_until = max(self.busy_until, now_cycle) + cycles
         self.bytes_moved += length
         self.transfers += 1
+        tracer = get_tracer()
+        if tracer.enabled:
+            direction = "wr" if descriptor.write_to_dram else "rd"
+            tracer.add_cycle_span(
+                f"{self.name}.{direction}", "dma",
+                self.busy_until - cycles, self.busy_until,
+                args={
+                    "bytes": length,
+                    "ram": "weight" if descriptor.target_weight_ram else "data",
+                    "through_l3": bool(descriptor.through_l3),
+                    "dram_addr": dram_addr,
+                },
+            )
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter("dma.bytes_moved", unit="B").inc(length)
+            metrics.counter(f"dma.{self.name}.bytes", unit="B").inc(length)
+            metrics.counter("dma.transfers").inc()
         return self.busy_until

@@ -25,14 +25,13 @@ Execution semantics of one instruction issue (one clock for 8-bit work):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.dtypes import NcoreDType, dtype_info
 from repro.isa import Instruction
 from repro.isa.instruction import (
-    Activation,
     NDUOp,
     NDUOpcode,
     NPUOp,
@@ -54,6 +53,8 @@ from repro.isa.operands import (
 from repro.ncore import ndu as ndu_unit
 from repro.ncore import npu as npu_unit
 from repro.ncore import out as out_unit
+from repro.obs.metrics import get_metrics
+from repro.obs.tracer import get_tracer
 from repro.ncore.config import NcoreConfig
 from repro.ncore.debug import EventLog, PerfCounter
 from repro.ncore.dma import DmaDescriptor, DmaEngine, LinearMemory
@@ -497,11 +498,27 @@ class Ncore:
                 return False
         return True
 
+    def bind_metrics(self, registry=None, prefix: str = "ncore") -> None:
+        """Expose the hardware performance counters through a registry.
+
+        The registered views wrap the live :class:`PerfCounter` objects,
+        so offsets and wraparound breakpoints configured either way stay
+        in effect (section IV-F semantics).
+        """
+        registry = registry if registry is not None else get_metrics()
+        for name, counter in self.perf_counters.items():
+            registry.bind_hardware(
+                f"{prefix}.hw.{name}", counter,
+                description=f"Ncore hardware performance counter {name!r}",
+            )
+
     def run(self, max_cycles: int = 100_000_000) -> RunResult:
         """Execute from the current pc until halt, breakpoint or budget."""
         start_cycles = self.total_cycles
         start_instructions = self.total_instructions
         start_issues = self.total_issues
+        start_macs = self.total_macs
+        start_dma_stall = self.dma_stall_cycles
         self._pending_break: str | None = None
         if self.n_step is not None and self._next_step_break is None:
             self._next_step_break = self.total_cycles + self.n_step
@@ -533,13 +550,36 @@ class Ncore:
                     break
         finally:
             self.running = False
-        return RunResult(
+        result = RunResult(
             cycles=self.total_cycles - start_cycles,
             instructions=self.total_instructions - start_instructions,
             issues=self.total_issues - start_issues,
             halted=self.halted,
             stop_reason=stop_reason if self.halted is False else "halt",
         )
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.add_cycle_span(
+                "ncore.run", "ncore", start_cycles, self.total_cycles,
+                args={
+                    "instructions": result.instructions,
+                    "issues": result.issues,
+                    "stop_reason": result.stop_reason,
+                    "macs": self.total_macs - start_macs,
+                    "dma_stall_cycles": self.dma_stall_cycles - start_dma_stall,
+                },
+            )
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter("ncore.cycles", unit="cycles").inc(result.cycles)
+            metrics.counter("ncore.instructions").inc(result.instructions)
+            metrics.counter("ncore.issues").inc(result.issues)
+            metrics.counter("ncore.macs").inc(self.total_macs - start_macs)
+            metrics.counter("ncore.dma_stall_cycles", unit="cycles").inc(
+                self.dma_stall_cycles - start_dma_stall
+            )
+            metrics.counter("ncore.runs").inc()
+        return result
 
     def execute_program(self, program: list[Instruction], max_cycles: int = 100_000_000) -> RunResult:
         """Convenience: load a program, run it to completion."""

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.isa.instruction import NDUOp, NDUOpcode, RotateDirection
+from repro.isa.instruction import RotateDirection
 
 BROADCAST_GROUP = 64  # broadcast64 group size in bytes
 

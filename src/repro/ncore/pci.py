@@ -9,7 +9,7 @@ may access; everything else is reached through memory-mapped BARs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 # VIA Technologies' vendor id; Centaur was VIA's x86 design subsidiary.
 VENDOR_ID = 0x1106

@@ -1,0 +1,258 @@
+"""Named metrics modeled on the section IV-F performance counters.
+
+The registry holds three software metric kinds (counters, gauges,
+histograms) plus *hardware counters* — adapters around the machine's
+:class:`repro.ncore.debug.PerfCounter` objects that keep the hardware
+semantics intact: a fixed bit width, configurable offsets, and the
+wraparound breakpointing the paper uses to stop execution "at counter
+wraparound".  Incrementing a hardware counter through the registry goes
+through ``PerfCounter.add`` and therefore still arms breakpoints.
+
+Like the tracer, the registry has a zero-cost default: call sites check
+``get_metrics().enabled`` before doing any bookkeeping.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import insort
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+
+class Counter:
+    """A monotonically increasing value (bytes moved, queries, hits)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, description: str = "", unit: str = "") -> None:
+        self.name = name
+        self.description = description
+        self.unit = unit
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        self.value += amount
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"kind": self.kind, "value": self.value, "unit": self.unit,
+                "description": self.description}
+
+
+class Gauge:
+    """A point-in-time value (ring occupancy, queue depth)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, description: str = "", unit: str = "") -> None:
+        self.name = name
+        self.description = description
+        self.unit = unit
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"kind": self.kind, "value": self.value, "unit": self.unit,
+                "description": self.description}
+
+
+class Histogram:
+    """A distribution (per-query latency, per-kernel cycles).
+
+    Keeps sorted observations so MLPerf-style percentiles are exact; the
+    observation list is capped to bound memory on very long runs (the
+    running count/sum/min/max stay exact).
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, description: str = "", unit: str = "",
+                 max_observations: int = 65536) -> None:
+        self.name = name
+        self.description = description
+        self.unit = unit
+        self.max_observations = max_observations
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+        self._sorted: list[float] = []
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        if len(self._sorted) < self.max_observations:
+            insort(self._sorted, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Exact percentile over retained observations (p in [0, 100])."""
+        if not self._sorted:
+            return 0.0
+        if not 0 <= p <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        index = min(len(self._sorted) - 1, int(round(p / 100 * (len(self._sorted) - 1))))
+        return self._sorted[index]
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind, "unit": self.unit, "description": self.description,
+            "count": self.count, "mean": self.mean,
+            "min": self.min if self.min is not None else 0.0,
+            "max": self.max if self.max is not None else 0.0,
+            "p50": self.percentile(50), "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
+
+class HardwareCounter:
+    """Registry view of one hardware :class:`PerfCounter`.
+
+    The underlying counter keeps its bit width, offset configuration and
+    wraparound breakpoint; :meth:`inc` returns True when a breakpoint
+    fires, exactly as ``PerfCounter.add`` does.
+    """
+
+    kind = "hardware"
+
+    def __init__(self, name: str, perf_counter, description: str = "",
+                 unit: str = "") -> None:
+        self.name = name
+        self.perf_counter = perf_counter
+        self.description = description
+        self.unit = unit
+
+    @property
+    def value(self) -> int:
+        return self.perf_counter.value
+
+    @property
+    def wrapped(self) -> bool:
+        return self.perf_counter.wrapped
+
+    def inc(self, amount: int = 1) -> bool:
+        return self.perf_counter.add(amount)
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind, "value": self.perf_counter.value,
+            "unit": self.unit, "description": self.description,
+            "bits": self.perf_counter.bits, "wrapped": self.perf_counter.wrapped,
+            "break_on_wrap": self.perf_counter.break_on_wrap,
+        }
+
+
+class NullMetrics:
+    """The no-op default registry (mirrors :class:`.tracer.NullTracer`)."""
+
+    enabled = False
+    _NULL_COUNTER = Counter("null")
+    _NULL_GAUGE = Gauge("null")
+    _NULL_HISTOGRAM = Histogram("null", max_observations=0)
+
+    def counter(self, name: str, description: str = "", unit: str = "") -> Counter:
+        return self._NULL_COUNTER
+
+    def gauge(self, name: str, description: str = "", unit: str = "") -> Gauge:
+        return self._NULL_GAUGE
+
+    def histogram(self, name: str, description: str = "", unit: str = "") -> Histogram:
+        return self._NULL_HISTOGRAM
+
+    def bind_hardware(self, name: str, perf_counter, description: str = "",
+                      unit: str = "") -> HardwareCounter:
+        return HardwareCounter(name, perf_counter, description, unit)
+
+
+NULL_METRICS = NullMetrics()
+
+
+class MetricsRegistry:
+    """A namespace of metrics, get-or-create by name."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram | HardwareCounter] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, cls, name: str, description: str, unit: str, **kwargs):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name, description=description, unit=unit, **kwargs)
+                self._metrics[name] = metric
+            elif not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as {metric.kind}"
+                )
+            return metric
+
+    def counter(self, name: str, description: str = "", unit: str = "") -> Counter:
+        return self._get_or_create(Counter, name, description, unit)
+
+    def gauge(self, name: str, description: str = "", unit: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, description, unit)
+
+    def histogram(self, name: str, description: str = "", unit: str = "") -> Histogram:
+        return self._get_or_create(Histogram, name, description, unit)
+
+    def bind_hardware(self, name: str, perf_counter, description: str = "",
+                      unit: str = "") -> HardwareCounter:
+        """Expose a hardware PerfCounter through the registry.
+
+        Re-binding the same name replaces the view (a fresh machine after
+        reset), never the underlying hardware state.
+        """
+        with self._lock:
+            view = HardwareCounter(name, perf_counter, description, unit)
+            self._metrics[name] = view
+            return view
+
+    # ------------------------------------------------------------------
+
+    def get(self, name: str):
+        return self._metrics[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """All metrics as plain dicts (the flat JSON dump)."""
+        return {name: self._metrics[name].snapshot() for name in self.names()}
+
+
+_installed: NullMetrics | MetricsRegistry = NULL_METRICS
+
+
+def get_metrics() -> NullMetrics | MetricsRegistry:
+    """The installed registry, or the zero-cost :data:`NULL_METRICS`."""
+    return _installed
+
+
+def set_metrics(registry: MetricsRegistry | NullMetrics | None) -> None:
+    global _installed
+    _installed = registry if registry is not None else NULL_METRICS
+
+
+@contextmanager
+def install_metrics(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    previous = _installed
+    set_metrics(registry)
+    try:
+        yield registry
+    finally:
+        set_metrics(previous)

@@ -13,6 +13,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs.metrics import get_metrics
+from repro.obs.tracer import get_tracer
 from repro.perf.system import BenchmarkSystem
 
 LATENCY_PERCENTILE = 90  # MLPerf's SingleStream reporting percentile
@@ -45,15 +47,40 @@ def run_single_stream(
     """SingleStream scenario: sequential queries, p90 latency."""
     if queries < 1:
         raise ValueError("at least one query required")
-    base = system.single_stream_latency_seconds()
-    rng = np.random.default_rng(seed)
-    samples = base * rng.lognormal(mean=0.0, sigma=JITTER_SIGMA, size=queries)
-    return SingleStreamResult(
-        model_key=system.model_key,
-        queries=queries,
-        mean_latency_seconds=float(samples.mean()),
-        p90_latency_seconds=float(np.percentile(samples, LATENCY_PERCENTILE)),
-    )
+    tracer = get_tracer()
+    with tracer.span(
+        "mlperf.single_stream", track="mlperf",
+        model=system.model_key, queries=queries,
+    ) as span:
+        base = system.single_stream_latency_seconds()
+        rng = np.random.default_rng(seed)
+        samples = base * rng.lognormal(mean=0.0, sigma=JITTER_SIGMA, size=queries)
+        result = SingleStreamResult(
+            model_key=system.model_key,
+            queries=queries,
+            mean_latency_seconds=float(samples.mean()),
+            p90_latency_seconds=float(np.percentile(samples, LATENCY_PERCENTILE)),
+        )
+        span.set(p90_latency_ms=result.p90_latency_ms)
+    if tracer.enabled:
+        # Per-query spans on the modelled timeline (queries are issued
+        # back-to-back in SingleStream).
+        cursor_us = 0.0
+        for index, latency in enumerate(samples):
+            duration_us = float(latency) * 1e6
+            tracer.add_span(
+                f"query[{index}]", "mlperf.queries",
+                start_us=cursor_us, duration_us=duration_us,
+                args={"latency_ms": float(latency) * 1e3},
+            )
+            cursor_us += duration_us
+    metrics = get_metrics()
+    if metrics.enabled:
+        metrics.counter("mlperf.queries").inc(queries)
+        histogram = metrics.histogram("mlperf.latency_seconds", unit="s")
+        for latency in samples:
+            histogram.observe(float(latency))
+    return result
 
 
 def run_offline(
@@ -67,13 +94,23 @@ def run_offline(
     as in the paper, to raise arithmetic intensity)."""
     if queries < 1:
         raise ValueError("at least one query required")
-    base = system.offline_throughput_ips(cores=cores)
-    rng = np.random.default_rng(seed)
-    # Throughput noise shrinks with the query count (averaging).
-    noisy = base * rng.lognormal(mean=0.0, sigma=JITTER_SIGMA / np.sqrt(queries))
-    return OfflineResult(
-        model_key=system.model_key,
-        queries=queries,
-        throughput_ips=float(noisy),
-        batch_size=batch_size,
-    )
+    with get_tracer().span(
+        "mlperf.offline", track="mlperf",
+        model=system.model_key, queries=queries, batch_size=batch_size, cores=cores,
+    ) as span:
+        base = system.offline_throughput_ips(cores=cores)
+        rng = np.random.default_rng(seed)
+        # Throughput noise shrinks with the query count (averaging).
+        noisy = base * rng.lognormal(mean=0.0, sigma=JITTER_SIGMA / np.sqrt(queries))
+        result = OfflineResult(
+            model_key=system.model_key,
+            queries=queries,
+            throughput_ips=float(noisy),
+            batch_size=batch_size,
+        )
+        span.set(throughput_ips=result.throughput_ips)
+    metrics = get_metrics()
+    if metrics.enabled:
+        metrics.counter("mlperf.queries").inc(queries)
+        metrics.gauge("mlperf.offline_ips", unit="IPS").set(result.throughput_ips)
+    return result

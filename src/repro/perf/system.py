@@ -19,7 +19,6 @@ import functools
 
 import numpy as np
 
-from repro.graph.gir import Graph
 from repro.graph.loadable import CompiledModel
 from repro.graph.passes import default_pipeline
 from repro.models import PAPER_CHARACTERISTICS, ModelInfo

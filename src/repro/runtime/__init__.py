@@ -9,12 +9,13 @@ that owns the protected settings (DMA windows, power).
 from repro.runtime.delegate import InferenceSession, compile_model
 from repro.runtime.driver import DriverError, NcoreKernelDriver
 from repro.runtime.luts import build_activation_lut, sigmoid_lut, tanh_lut
-from repro.runtime.profiler import Profiler, Trace
+from repro.runtime.profiler import EventLogOverflowError, Profiler, Trace
 from repro.runtime.qkernels import execute_quantized
 from repro.runtime.selftest import SelfTestReport, power_on_self_test
 
 __all__ = [
     "DriverError",
+    "EventLogOverflowError",
     "InferenceSession",
     "NcoreKernelDriver",
     "Profiler",

@@ -13,7 +13,7 @@ portion.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -23,6 +23,8 @@ from repro.graph.partitioner import partition
 from repro.graph.passes import default_pipeline
 from repro.ncore.config import NcoreConfig
 from repro.nkl.lower import lower_segment
+from repro.obs.metrics import get_metrics
+from repro.obs.tracer import get_tracer
 from repro.runtime.driver import NcoreKernelDriver
 from repro.runtime.qkernels import execute_quantized
 from repro.soc.cha import ChaSoc
@@ -39,18 +41,37 @@ def compile_model(
     name: str | None = None,
 ) -> CompiledModel:
     """Run the GCL pipeline, partition, and lower the Ncore segments."""
-    if optimize:
-        default_pipeline().run(graph)
-    segments = partition(graph)
-    model = CompiledModel(
-        name=name or graph.name, graph=graph, segments=segments
-    )
-    for index, segment in enumerate(segments):
-        if segment.target == "ncore":
-            model.loadables[index] = lower_segment(
-                graph, segment, config, name=f"{model.name}_seg{index}"
-            )
-    return model
+    with get_tracer().span(
+        "delegate.compile", track="delegate", model=name or graph.name
+    ) as span:
+        if optimize:
+            with get_tracer().span("delegate.optimize", track="delegate"):
+                default_pipeline().run(graph)
+        with get_tracer().span("delegate.partition", track="delegate"):
+            segments = partition(graph)
+        model = CompiledModel(
+            name=name or graph.name, graph=graph, segments=segments
+        )
+        for index, segment in enumerate(segments):
+            if segment.target == "ncore":
+                with get_tracer().span(
+                    f"delegate.lower[{index}]", track="delegate",
+                    nodes=len(segment.nodes),
+                ):
+                    model.loadables[index] = lower_segment(
+                        graph, segment, config, name=f"{model.name}_seg{index}"
+                    )
+        span.set(
+            segments=len(segments),
+            ncore_segments=len(model.ncore_segments),
+            x86_segments=len(model.x86_segments),
+        )
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter("delegate.models_compiled").inc()
+            metrics.counter("delegate.partitions.ncore").inc(len(model.ncore_segments))
+            metrics.counter("delegate.partitions.x86").inc(len(model.x86_segments))
+        return model
 
 
 @dataclass
@@ -105,21 +126,96 @@ class InferenceSession:
     def x86_graph_seconds(self) -> float:
         """x86 portion attributable to non-delegated graph segments."""
         core = self.soc.cores[0]
+        metrics = get_metrics()
         total = 0.0
         for index in self.model.x86_segments:
             segment = self.model.segments[index]
             total += DELEGATE_TRANSITION_SECONDS
+            if metrics.enabled:
+                metrics.counter("delegate.transitions").inc()
             for node in segment.nodes:
-                total += core.task_seconds(**_x86_node_cost(self.model.graph, node))
+                seconds = core.task_seconds(**_x86_node_cost(self.model.graph, node))
+                total += seconds
+                if metrics.enabled:
+                    # Table IX attribution: where the x86 fallback time goes.
+                    metrics.counter(
+                        f"x86.fallback.{node.op}.cycles", unit="cycles"
+                    ).inc(seconds * core.clock_hz)
+                    metrics.counter("x86.fallback.seconds", unit="s").inc(seconds)
         return total
+
+    def trace_schedule(self, tracer=None) -> None:
+        """Emit the modelled execution timeline as simulated-time spans.
+
+        One span per segment in execution order — the Fig. 8/9 view of the
+        delegate's Ncore/x86 interleaving, with per-kernel child spans for
+        the Ncore segments (the NKL cycle schedule).
+        """
+        tracer = tracer if tracer is not None else get_tracer()
+        if not tracer.enabled:
+            return
+        clock = self._clock
+        core = self.soc.cores[0]
+        cursor = 0.0  # modelled seconds since inference start
+        for index, segment in enumerate(self.model.segments):
+            if segment.target == "ncore" and index in self.model.loadables:
+                loadable = self.model.loadables[index]
+                seconds = loadable.total_cycles(self._dma_bpc) / clock
+                tracer.add_span(
+                    f"ncore.segment[{index}]", "delegate.schedule",
+                    start_us=cursor * 1e6, duration_us=seconds * 1e6,
+                    args={"nodes": len(segment.nodes),
+                          "cycles": loadable.total_cycles(self._dma_bpc),
+                          "weights": "pinned" if loadable.memory_plan.weights_pinned
+                          else "streamed"},
+                )
+                kernel_cursor = cursor
+                for kernel in loadable.kernels:
+                    kernel_seconds = kernel.cycles / clock
+                    tracer.add_span(
+                        kernel.kernel, "ncore.kernels",
+                        start_us=kernel_cursor * 1e6,
+                        duration_us=kernel_seconds * 1e6,
+                        args={"node": kernel.node_name, "op": kernel.op,
+                              "cycles": kernel.cycles, "macs": kernel.macs},
+                    )
+                    kernel_cursor += kernel_seconds
+                cursor += seconds
+            else:
+                seconds = DELEGATE_TRANSITION_SECONDS
+                for node in segment.nodes:
+                    seconds += core.task_seconds(**_x86_node_cost(self.model.graph, node))
+                tracer.add_span(
+                    f"x86.segment[{index}]", "delegate.schedule",
+                    start_us=cursor * 1e6, duration_us=seconds * 1e6,
+                    args={"nodes": len(segment.nodes),
+                          "ops": sorted({n.op for n in segment.nodes})},
+                )
+                cursor += seconds
 
     def run(self, feeds: dict[str, np.ndarray]) -> RunResult:
         """One inference: functional execution plus the timing model."""
-        outputs = execute_quantized(self.model.graph, feeds)
-        timing = RunTiming(
-            ncore_seconds=self.ncore_seconds(),
-            x86_seconds=self.x86_graph_seconds(),
-        )
+        tracer = get_tracer()
+        with tracer.span("delegate.run", track="delegate", model=self.model.name) as span:
+            with tracer.span("delegate.execute_quantized", track="delegate"):
+                outputs = execute_quantized(self.model.graph, feeds)
+            timing = RunTiming(
+                ncore_seconds=self.ncore_seconds(),
+                x86_seconds=self.x86_graph_seconds(),
+            )
+            span.set(
+                ncore_seconds=timing.ncore_seconds,
+                x86_seconds=timing.x86_seconds,
+                ncore_fraction=timing.ncore_fraction,
+            )
+        if tracer.enabled:
+            self.trace_schedule(tracer)
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter("delegate.inferences").inc()
+            metrics.histogram(
+                "delegate.latency_seconds", unit="s"
+            ).observe(timing.total_seconds)
         return RunResult(outputs=outputs, timing=timing)
 
 

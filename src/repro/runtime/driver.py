@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.obs.tracer import get_tracer
 from repro.soc.cha import ChaSoc
 
 
@@ -63,6 +64,10 @@ class NcoreKernelDriver:
     def probe(self) -> None:
         """Standard PCI probe: find the coprocessor, power it up, reserve
         the DMA window, and configure the protected settings."""
+        with get_tracer().span("driver.probe", track="driver") as span:
+            self._probe(span)
+
+    def _probe(self, span) -> None:
         functions = self.soc.enumerate_pci()
         ncore_fns = [f for f in functions if f.class_code >> 8 == 0x0B]
         if not ncore_fns:
@@ -82,6 +87,7 @@ class NcoreKernelDriver:
         self.soc.ncore.dma_write.configure_window(base)
         self.dma_window_base = base
         self._probed = True
+        span.set(dma_window_base=base, dma_window_bytes=window)
 
     @property
     def powered_on(self) -> bool:
@@ -107,20 +113,22 @@ class NcoreKernelDriver:
 
     def open(self, owner: str) -> MemoryMapping:
         """ioctl open: grant the single user-mode mapping."""
-        if not self._probed:
-            raise DriverError("driver not probed; no device bound")
-        if self._owner is not None:
-            raise DriverError(
-                f"Ncore address space already owned by {self._owner!r}; "
-                "the driver prevents simultaneous ownership (section V-D)"
-            )
-        self._owner = owner
-        return MemoryMapping(owner=owner, soc=self.soc)
+        with get_tracer().span("driver.open", track="driver", owner=owner):
+            if not self._probed:
+                raise DriverError("driver not probed; no device bound")
+            if self._owner is not None:
+                raise DriverError(
+                    f"Ncore address space already owned by {self._owner!r}; "
+                    "the driver prevents simultaneous ownership (section V-D)"
+                )
+            self._owner = owner
+            return MemoryMapping(owner=owner, soc=self.soc)
 
     def close(self, mapping: MemoryMapping) -> None:
-        if mapping.owner != self._owner:
-            raise DriverError("close from a non-owner mapping")
-        self._owner = None
+        with get_tracer().span("driver.close", track="driver", owner=mapping.owner):
+            if mapping.owner != self._owner:
+                raise DriverError("close from a non-owner mapping")
+            self._owner = None
 
     # -- DMA address services ----------------------------------------------
 

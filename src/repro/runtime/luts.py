@@ -12,7 +12,7 @@ from typing import Callable
 
 import numpy as np
 
-from repro.dtypes import NcoreDType, QuantParams, dtype_info, quantize
+from repro.dtypes import QuantParams, dtype_info, quantize
 
 
 def build_activation_lut(

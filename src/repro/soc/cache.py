@@ -16,6 +16,7 @@ from __future__ import annotations
 from collections import OrderedDict
 
 from repro.ncore.dma import LinearMemory
+from repro.obs.metrics import get_metrics
 
 LINE_BYTES = 64
 
@@ -102,6 +103,7 @@ class L3Cache:
         by the read are installed (the read allocates, warming the cache).
         """
         out = bytearray(dram_payload)
+        hits_before, misses_before = self.hits, self.misses
         start_line = addr // LINE_BYTES
         end_line = (addr + length - 1) // LINE_BYTES
         for line in range(start_line, end_line + 1):
@@ -119,6 +121,11 @@ class L3Cache:
             else:
                 self.misses += 1
                 self._install(set_index, tag)
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter("l3.coherent_reads").inc()
+            metrics.counter("l3.hits").inc(self.hits - hits_before)
+            metrics.counter("l3.misses").inc(self.misses - misses_before)
         return bytes(out)
 
     @property

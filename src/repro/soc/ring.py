@@ -11,6 +11,8 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+from repro.obs.metrics import get_metrics
+
 
 class RingStop(enum.Enum):
     """The agents attached to CHA's ring."""
@@ -81,6 +83,14 @@ class RingBus:
         """Cycles to move a message: per-hop latency plus serialisation."""
         latency = self.hops(src, dst) * self.hop_cycles
         serialisation = -(-num_bytes // self.width_bytes)  # ceil division
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter("ring.messages").inc()
+            metrics.counter("ring.bytes", unit="B").inc(num_bytes)
+            metrics.counter("ring.hop_cycles", unit="cycles").inc(latency)
+            # Serialisation cycles are the stop-occupancy proxy: how long
+            # the message holds its injection slot.
+            metrics.counter("ring.occupancy_cycles", unit="cycles").inc(serialisation)
         return latency + serialisation
 
     def transfer_seconds(self, src: RingStop, dst: RingStop, num_bytes: int) -> float:

@@ -15,7 +15,6 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.dtypes import ACC_MAX, ACC_MIN
 
 
 @dataclass

@@ -1,7 +1,6 @@
 """Tests for bfloat16 conversion (round-to-nearest-even)."""
 
 import numpy as np
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 

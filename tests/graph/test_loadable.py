@@ -3,10 +3,8 @@
 import pytest
 
 from repro.graph.loadable import (
-    CompiledModel,
     KernelInvocation,
     NcoreLoadable,
-    render_partition,
 )
 from repro.graph.partitioner import Segment
 from repro.graph.planner import MemoryPlan

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.graph import Graph, Node, Tensor, TensorType, partition, plan_memory
-from repro.graph.planner import PlanningError, Prefetch, RowRange
+from repro.graph.planner import PlanningError, RowRange
 from repro.ncore import NcoreConfig
 
 

@@ -6,7 +6,6 @@ from hypothesis import assume, given
 from repro.dtypes import NcoreDType
 from repro.isa import (
     AssemblyError,
-    Instruction,
     NDUOpcode,
     NPUOpcode,
     OperandKind,

@@ -11,12 +11,9 @@ from repro.isa import (
     NPUOpcode,
     Operand,
     OperandKind,
-    OutOp,
-    OutOpcode,
     SeqOp,
     SeqOpcode,
 )
-from repro.isa.instruction import Activation, RotateDirection
 from repro.isa.operands import data_ram, immediate, ndu_reg, weight_ram
 
 

@@ -44,6 +44,33 @@ class TestEventLog:
         expected = list(range(count))[-capacity:]
         assert [e.tag for e in events] == expected
 
+    def test_overflowed_property(self):
+        log = EventLog(capacity=4)
+        for i in range(4):
+            log.record(i, i, i)
+        assert not log.overflowed
+        log.record(4, 4, 4)
+        assert log.overflowed
+        assert log.dropped == 1
+
+    def test_overflowed_resets_on_drain(self):
+        # Both `dropped` and `overflowed` describe the current window:
+        # draining hands the buffer back to the hardware, clean.
+        log = EventLog(capacity=2)
+        for i in range(3):
+            log.record(i, i, i)
+        assert log.overflowed
+        log.drain()
+        assert log.dropped == 0
+        assert not log.overflowed
+
+    @given(st.integers(1, 40), st.integers(0, 100))
+    def test_overflowed_iff_capacity_exceeded(self, capacity, count):
+        log = EventLog(capacity)
+        for i in range(count):
+            log.record(i, i, i)
+        assert log.overflowed == (count > capacity)
+
 
 class TestPerfCounter:
     def test_counts(self):

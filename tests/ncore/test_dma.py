@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.isa.instruction import DMAOp
 from repro.ncore import DmaDescriptor, DmaEngine, LinearMemory, RowMemory
 
 

@@ -286,7 +286,7 @@ class TestDma:
             "mac dram[a0], wtram[a1]\n"
             "halt"
         )
-        result = machine.execute_program(program)
+        machine.execute_program(program)
         assert machine.acc_int[0] == 14
         assert machine.dma_stall_cycles > 0  # the wait actually stalled
 

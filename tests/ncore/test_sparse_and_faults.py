@@ -9,7 +9,7 @@ import numpy as np
 import pytest
 
 from repro.isa import assemble
-from repro.ncore import EccError, ExecutionError, Ncore
+from repro.ncore import EccError, Ncore
 from repro.ncore.ndu import compress
 
 ROW = 4096

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.graph import Graph, Node, Tensor, TensorType, partition
-from repro.nkl import UnsupportedOpError, lower_segment
+from repro.nkl import lower_segment
 from repro.nkl.lower import _node_dtype
 from repro.dtypes import NcoreDType
 

@@ -140,7 +140,7 @@ class TestConv1dRotateProgram:
         program, result = emit_conv1d_rotate_program(
             machine, data, weights, in_qp, w_qp, out_qp
         )
-        run = machine.execute_program(program)
+        machine.execute_program(program)
         out = result.read(machine)
         # numpy reference: valid correlation per output channel.
         d = data.astype(np.int64) - 128

@@ -1,6 +1,5 @@
 """Tests for the NKL kernel schedules and the Fig. 7 cycle model."""
 
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 

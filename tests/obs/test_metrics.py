@@ -1,0 +1,102 @@
+"""Tests for the metrics registry and the hardware-counter adapter."""
+
+import pytest
+
+from repro import obs
+from repro.ncore import PerfCounter
+from repro.obs.metrics import NULL_METRICS
+
+
+class TestRegistry:
+    def test_counter_get_or_create(self):
+        registry = obs.MetricsRegistry()
+        registry.counter("a").inc(3)
+        registry.counter("a").inc(2)
+        assert registry.get("a").value == 5
+
+    def test_counter_is_monotonic(self):
+        registry = obs.MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("a").inc(-1)
+
+    def test_kind_conflict_raises(self):
+        registry = obs.MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(TypeError, match="already registered"):
+            registry.gauge("a")
+
+    def test_gauge(self):
+        registry = obs.MetricsRegistry()
+        registry.gauge("depth").set(7)
+        registry.gauge("depth").set(4)
+        assert registry.get("depth").value == 4
+
+    def test_snapshot_shape(self):
+        registry = obs.MetricsRegistry()
+        registry.counter("c", unit="B").inc(10)
+        snap = registry.snapshot()
+        assert snap["c"]["kind"] == "counter"
+        assert snap["c"]["value"] == 10
+        assert snap["c"]["unit"] == "B"
+
+    def test_default_registry_is_null(self):
+        assert obs.get_metrics() is NULL_METRICS
+        assert not obs.get_metrics().enabled
+        # Null metrics absorb updates without tracking anything.
+        obs.get_metrics().counter("x").inc(5)
+
+
+class TestHistogram:
+    def test_percentiles_and_stats(self):
+        histogram = obs.Histogram("lat")
+        for value in range(1, 101):
+            histogram.observe(float(value))
+        assert histogram.count == 100
+        assert histogram.mean == pytest.approx(50.5)
+        assert histogram.min == 1.0
+        assert histogram.max == 100.0
+        assert histogram.percentile(90) == pytest.approx(90.0, abs=1.0)
+
+    def test_capped_observations_keep_exact_count(self):
+        histogram = obs.Histogram("lat", max_observations=10)
+        for value in range(100):
+            histogram.observe(float(value))
+        assert histogram.count == 100
+        assert histogram.max == 99.0
+
+
+class TestHardwareCounter:
+    def test_wraparound_breakpoint_preserved(self):
+        # Section IV-F: configure an offset so the counter wraps (and
+        # breaks) after a chosen number of increments — through the
+        # registry view, exactly as through the raw PerfCounter.
+        registry = obs.MetricsRegistry()
+        perf_counter = PerfCounter("macs", bits=8)
+        perf_counter.configure(offset=250, break_on_wrap=True)
+        view = registry.bind_hardware("ncore.hw.macs", perf_counter)
+        assert view.inc(5) is False
+        assert view.inc(5) is True  # wraps 255 -> 4, breakpoint fires
+        assert view.wrapped
+        assert view.value == perf_counter.value == 4
+
+    def test_snapshot_reports_hardware_state(self):
+        registry = obs.MetricsRegistry()
+        perf_counter = PerfCounter("cycles", bits=48)
+        perf_counter.add(123)
+        registry.bind_hardware("hw", perf_counter)
+        snap = registry.snapshot()["hw"]
+        assert snap["kind"] == "hardware"
+        assert snap["value"] == 123
+        assert snap["bits"] == 48
+        assert snap["wrapped"] is False
+
+    def test_machine_bind_metrics(self):
+        from repro.ncore import Ncore
+
+        registry = obs.MetricsRegistry()
+        machine = Ncore()
+        machine.bind_metrics(registry)
+        assert "ncore.hw.macs" in registry
+        # The view tracks the live machine counter.
+        machine.perf_counters["macs"].add(4096)
+        assert registry.get("ncore.hw.macs").value == 4096

@@ -5,7 +5,6 @@ import pytest
 
 from repro.perf.mlperf import run_offline, run_single_stream
 from repro.perf.published import (
-    PAPER_WORKLOAD_SPLIT_MS,
     PUBLISHED_LATENCY_MS,
     PUBLISHED_THROUGHPUT_IPS,
 )

@@ -5,7 +5,6 @@ import pytest
 from repro.perf.workloads import (
     HARNESS_FIXED_SECONDS,
     PER_NODE_DISPATCH_SECONDS,
-    X86Portion,
     preprocess_seconds,
     x86_portion_seconds,
 )

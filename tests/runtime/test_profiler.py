@@ -73,3 +73,71 @@ class TestProfiler:
             profiler.marker("x")
         with pytest.raises(ValueError, match="markers"):
             profiler.marker("overflow")
+
+
+class TestClockThreading:
+    def test_span_seconds_uses_machine_clock(self):
+        from repro.ncore import NcoreConfig
+
+        machine = Ncore(NcoreConfig(clock_hz=1e9))
+        machine.write_data_ram(0, bytes(np.full(4096, 1, np.uint8)))
+        machine.write_weight_ram(0, bytes(np.full(4096, 1, np.uint8)))
+        profiler = Profiler(machine)
+        trace = profiler.run(profiler.instrument(
+            [("compute", region("loop 10 {\n  mac dram[a0], wtram[a1]\n}"))]
+        ))
+        span = trace.span("compute")
+        assert span.clock_hz == 1e9
+        assert span.seconds() == pytest.approx(span.cycles / 1e9)
+        assert trace.clock_hz == 1e9
+
+    def test_explicit_clock_still_wins(self):
+        from repro.runtime.profiler import Span
+
+        span = Span("x", 0, 2500)
+        assert span.seconds() == pytest.approx(1e-6)  # default 2.5 GHz
+        assert span.seconds(clock_hz=2.5e6) == pytest.approx(1e-3)
+
+
+class TestOverflowDetection:
+    def _flooding_machine(self):
+        # A tiny event log makes the marker stream itself overflow it.
+        machine = Ncore()
+        machine.event_log.capacity = 1
+        machine.write_data_ram(0, bytes(np.full(4096, 1, np.uint8)))
+        machine.write_weight_ram(0, bytes(np.full(4096, 1, np.uint8)))
+        return machine
+
+    def _program(self, profiler):
+        return profiler.instrument(
+            [
+                ("setup", region("setaddr a0, 0")),
+                ("compute", region("loop 4 {\n  mac dram[a0], wtram[a1]\n}")),
+            ]
+        )
+
+    def test_overflow_raises_by_default(self):
+        from repro.runtime.profiler import EventLogOverflowError
+
+        profiler = Profiler(self._flooding_machine())
+        with pytest.raises(EventLogOverflowError, match="wrapped"):
+            profiler.run(self._program(profiler))
+
+    def test_overflow_warns_when_configured(self):
+        profiler = Profiler(self._flooding_machine(), on_overflow="warn")
+        with pytest.warns(RuntimeWarning, match="truncated"):
+            trace = profiler.run(self._program(profiler))
+        # The truncated trace is still returned.
+        assert trace.total_cycles > 0
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError, match="on_overflow"):
+            Profiler(Ncore(), on_overflow="ignore")
+
+    def test_no_overflow_on_normal_runs(self):
+        machine = Ncore()
+        machine.write_data_ram(0, bytes(np.full(4096, 1, np.uint8)))
+        machine.write_weight_ram(0, bytes(np.full(4096, 1, np.uint8)))
+        profiler = Profiler(machine)
+        trace = profiler.run(self._program(profiler))
+        assert [s.name for s in trace.spans] == ["setup", "compute"]

@@ -1,6 +1,5 @@
 """Tests for the power-on self-test (the ROM's self-test routines)."""
 
-import numpy as np
 import pytest
 
 from repro.ncore import Ncore
@@ -50,7 +49,7 @@ class TestPost:
 
 class TestRomRoutine:
     def test_rom_fits_in_4kb(self):
-        from repro.isa import assemble, encode
+        from repro.isa import assemble
 
         program = assemble(ROM_MAC_TEST)
         assert len(program) * 16 <= 4 * 1024

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.ncore import NcoreConfig
 from repro.soc import ChaSoc
 from repro.soc.cha import NUM_CORES
 

@@ -1,6 +1,5 @@
 """Tests for the DRAM controller and the shared L3 cache."""
 
-import numpy as np
 import pytest
 
 from repro.soc import DramController, L3Cache

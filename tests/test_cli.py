@@ -1,6 +1,5 @@
 """Tests for the command-line interface."""
 
-import numpy as np
 import pytest
 
 from repro.cli import main
@@ -70,6 +69,42 @@ class TestCompileAndRun:
         main(["run", saved_graph, "--seed", "3"])
         second = capsys.readouterr().out
         assert first == second
+
+
+class TestTrace:
+    def test_writes_valid_chrome_trace(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "mn.trace.json"
+        csv_path = tmp_path / "mn.metrics.csv"
+        assert main([
+            "trace", "mobilenet", "-o", str(out_path),
+            "--queries", "8", "--metrics-csv", str(csv_path), "--render",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "spans on" in out
+        assert "p90 SingleStream latency" in out
+        doc = json.loads(out_path.read_text())
+        tracks = {
+            e["args"]["name"] for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        # Spans from at least four distinct layers of the stack.
+        assert {"delegate", "driver", "dma", "ncore", "mlperf"} <= tracks
+        assert any(e["ph"] == "X" for e in doc["traceEvents"])
+        csv = csv_path.read_text().splitlines()
+        assert csv[0].startswith("name,kind,unit")
+        assert any(line.startswith("dma.bytes_moved,") for line in csv)
+        assert "[ncore]" in out  # --render output
+
+    def test_unknown_model_errors(self, capsys):
+        assert main(["trace", "alexnet"]) == 2
+        assert "unknown model" in capsys.readouterr().err
+
+    def test_ambiguous_prefix_errors(self, capsys):
+        # "mobilenet_v1" and "ssd_mobilenet_v1" both contain "net".
+        assert main(["trace", "net"]) == 2
+        assert "unknown model" in capsys.readouterr().err
 
 
 class TestReproduce:

@@ -8,7 +8,7 @@ artifacts, the way a downstream user exercises the library.
 import numpy as np
 import pytest
 
-from repro.graph import execute_float, partition
+from repro.graph import execute_float
 from repro.graph.passes import default_pipeline
 from repro.models import PAPER_CHARACTERISTICS, build_mobilenet_v1
 from repro.quantize import calibrate, quantize_graph

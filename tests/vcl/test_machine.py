@@ -3,9 +3,6 @@ the Ncore unit implementations at the shipped width."""
 
 import numpy as np
 import pytest
-from hypothesis import given
-from hypothesis import strategies as st
-from hypothesis.extra import numpy as npst
 
 from repro.vcl import VclMachine, Vector
 
@@ -84,7 +81,7 @@ class TestWidthScaling:
         w = rng.integers(0, 16, 64).astype(np.uint8)
         data = m.tile(x)
         for c in range(64):
-            weights = m.broadcast(m.load(np.tile(w, width // 64)), c)
+            m.broadcast(m.load(np.tile(w, width // 64)), c)
             # One tap per cycle; the real inner loop fuses these moves.
         # Functional check via a single full MAC instead:
         m.clear_acc()
