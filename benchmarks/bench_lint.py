@@ -1,0 +1,61 @@
+"""Wall-time guard for the static-analysis gate.
+
+The ``repro.analyze`` pass stack runs strict on every ``compile_model`` /
+``lower_segment`` call, so it must stay cheap relative to compilation
+itself.  This benchmark holds the *full* analyzer stack — GIR rules plus
+every segment's loadable and instruction-program rules — for the largest
+zoo CNN (ResNet-50-v1.5, quantized through the benchmark path) under a
+fixed wall-time budget, and re-asserts that the stack lints clean.
+
+Run:  python -m pytest benchmarks/bench_lint.py -q
+"""
+
+import time
+
+from repro.analyze import analyze_model
+from repro.graph.passes import default_pipeline
+from repro.models import PAPER_CHARACTERISTICS
+from repro.quantize import calibrate, quantize_graph
+from repro.runtime import compile_model
+
+MODEL_KEY = "resnet50_v15"
+ANALYSIS_BUDGET_SECONDS = 5.0
+REPEATS = 3
+
+
+def _compiled_resnet():
+    info = PAPER_CHARACTERISTICS[MODEL_KEY]
+    graph = info.build()
+    default_pipeline().run(graph)
+    quantized = quantize_graph(graph, calibrate(graph, [info.sample_input(graph, seed=0)]))
+    start = time.perf_counter()
+    compiled = compile_model(quantized, optimize=False, name=MODEL_KEY, verify=False)
+    return compiled, time.perf_counter() - start
+
+
+def _min_analysis_seconds(compiled):
+    best = float("inf")
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        report = analyze_model(compiled)
+        best = min(best, time.perf_counter() - start)
+    return best, report
+
+
+def test_resnet50_full_stack_under_budget():
+    compiled, _ = _compiled_resnet()
+    seconds, report = _min_analysis_seconds(compiled)
+    assert report.ok, "\n".join(d.render() for d in report)
+    assert seconds < ANALYSIS_BUDGET_SECONDS, (
+        f"full-stack analysis of {MODEL_KEY} takes {seconds:.2f} s "
+        f"(budget {ANALYSIS_BUDGET_SECONDS:.1f} s); an analyzer pass "
+        f"has become super-linear in the model"
+    )
+
+
+if __name__ == "__main__":
+    compiled, compile_seconds = _compiled_resnet()
+    seconds, report = _min_analysis_seconds(compiled)
+    print(f"compile (unverified):  {compile_seconds:8.3f} s")
+    print(f"full-stack analysis:   {seconds:8.3f} s "
+          f"({len(report)} finding(s), ok={report.ok})")

@@ -1,0 +1,316 @@
+"""Loadable verifier: abstract interpretation of DMA schedules and kernels.
+
+Re-checks every :class:`~repro.graph.loadable.NcoreLoadable` against its
+:class:`~repro.graph.planner.MemoryPlan` and the target
+:class:`~repro.ncore.config.NcoreConfig` *without executing it*: scratchpad
+placements must fit the RAMs, no kernel may read a scratchpad region no DMA
+or earlier kernel has written, simultaneously-live allocations must not
+overlap, and the weight-prefetch schedule must neither arrive late nor
+overwrite rows still being consumed (DMA-write vs compute-read hazards).
+"""
+
+from __future__ import annotations
+
+from repro.graph.gir import Graph
+from repro.graph.loadable import CompiledModel, NcoreLoadable
+from repro.graph.planner import Prefetch, RowRange, _live_ranges
+from repro.ncore.config import NcoreConfig
+
+from repro.analyze.diagnostics import (
+    AnalysisReport,
+    Diagnostic,
+    Severity,
+    diag,
+    register_rule,
+)
+
+SRAM_OVERFLOW = register_rule(
+    "ldb.sram-overflow", Severity.ERROR, "allocation outside the scratchpad",
+    "A planned row range ends beyond the RAM's row capacity; on silicon the "
+    "access wraps or faults.",
+)
+ALLOC_OVERLAP = register_rule(
+    "ldb.alloc-overlap", Severity.ERROR, "overlapping live allocations",
+    "Two tensors with overlapping live ranges share scratchpad rows; one "
+    "will read the other's bytes.",
+)
+UNINITIALIZED_READ = register_rule(
+    "ldb.uninitialized-read", Severity.ERROR, "read of unwritten scratchpad",
+    "A kernel reads an activation that no DMA (segment boundary input) and "
+    "no earlier kernel in the segment has written — stale scratchpad bytes.",
+)
+UNPLACED_TENSOR = register_rule(
+    "ldb.unplaced-tensor", Severity.ERROR, "kernel operand has no allocation",
+    "A kernel touches an activation the memory plan never placed in the "
+    "data RAM.",
+)
+MISSING_WEIGHTS = register_rule(
+    "ldb.missing-weights", Severity.ERROR, "weights never staged",
+    "A kernel's constant operand has no weight-RAM allocation (and, when "
+    "streaming, no prefetch), so the kernel would read stale weight rows.",
+)
+LATE_PREFETCH = register_rule(
+    "ldb.late-prefetch", Severity.ERROR, "weight DMA scheduled after its use",
+    "A prefetch is issued after the kernel that needs it; the compute would "
+    "consume rows the DMA has not written yet.",
+)
+PREFETCH_RANGE = register_rule(
+    "ldb.prefetch-range", Severity.ERROR, "prefetch indexes outside the segment",
+    "A prefetch's issue or needed node index does not name a node of the "
+    "segment.",
+)
+DMA_HAZARD = register_rule(
+    "ldb.dma-hazard", Severity.ERROR, "DMA write races a compute read",
+    "A weight prefetch overwrites scratchpad rows before the previous "
+    "occupant of those rows has been consumed.",
+)
+KERNEL_MISMATCH = register_rule(
+    "ldb.kernel-mismatch", Severity.ERROR, "kernels disagree with the segment",
+    "The loadable's kernel invocations do not line up one-to-one with the "
+    "segment's nodes.",
+)
+
+_ERROR_KEY = "__analyze_internal__"
+
+
+def _overlap(a: RowRange, b: RowRange) -> bool:
+    return a.start < b.end and b.start < a.end
+
+
+def _check_allocs(
+    loadable: NcoreLoadable, config: NcoreConfig
+) -> list[Diagnostic]:
+    findings: list[Diagnostic] = []
+    plan = loadable.memory_plan
+    for ram, allocs in (("data RAM", plan.data_allocs), ("weight RAM", plan.weight_allocs)):
+        for tensor, rng in allocs.items():
+            if rng.start < 0 or rng.end > config.sram_rows:
+                findings.append(diag(
+                    SRAM_OVERFLOW,
+                    f"{ram} allocation for {tensor!r} spans rows "
+                    f"[{rng.start}, {rng.end}) but the RAM has "
+                    f"{config.sram_rows} rows",
+                    artifact=loadable.name, element=tensor,
+                ))
+    return findings
+
+
+def _check_data_overlaps(
+    graph: Graph, loadable: NcoreLoadable
+) -> list[Diagnostic]:
+    findings: list[Diagnostic] = []
+    plan = loadable.memory_plan
+    try:
+        ranges = _live_ranges(graph, loadable.segment)
+    except KeyError:
+        return findings  # segment references unknown tensors; reported elsewhere
+    placed = [
+        (name, rng, ranges[name])
+        for name, rng in plan.data_allocs.items()
+        if name in ranges
+    ]
+    for i, (name_a, rows_a, live_a) in enumerate(placed):
+        for name_b, rows_b, live_b in placed[i + 1:]:
+            rows_clash = _overlap(rows_a, rows_b)
+            live_clash = live_a[0] <= live_b[1] and live_b[0] <= live_a[1]
+            if rows_clash and live_clash:
+                findings.append(diag(
+                    ALLOC_OVERLAP,
+                    f"tensors {name_a!r} and {name_b!r} are live together "
+                    f"(nodes {live_a} vs {live_b}) but share data-RAM rows "
+                    f"[{max(rows_a.start, rows_b.start)}, "
+                    f"{min(rows_a.end, rows_b.end)})",
+                    artifact=loadable.name, element=name_a,
+                ))
+    return findings
+
+
+def _check_dataflow(
+    graph: Graph, loadable: NcoreLoadable
+) -> list[Diagnostic]:
+    """Uninitialized-read detection: abstract-interpret the segment's
+    kernel order against the set of scratchpad regions written so far."""
+    findings: list[Diagnostic] = []
+    segment = loadable.segment
+    plan = loadable.memory_plan
+    written: set[str] = set(segment.input_tensors(graph))  # staged by host DMA
+    for index, node in enumerate(segment.nodes):
+        for tensor_name in node.inputs:
+            tensor = graph.tensor(tensor_name)
+            if tensor.is_constant:
+                continue
+            if tensor_name not in written:
+                findings.append(diag(
+                    UNINITIALIZED_READ,
+                    f"kernel for node {node.name!r} reads {tensor_name!r}, "
+                    "which no DMA or earlier kernel has written",
+                    artifact=loadable.name, element=node.name, index=index,
+                    hint="the segment's node order does not respect dataflow",
+                ))
+            if tensor_name not in plan.data_allocs:
+                findings.append(diag(
+                    UNPLACED_TENSOR,
+                    f"kernel for node {node.name!r} reads {tensor_name!r}, "
+                    "which the memory plan never placed",
+                    artifact=loadable.name, element=node.name, index=index,
+                ))
+        for tensor_name in node.outputs:
+            written.add(tensor_name)
+            if tensor_name not in plan.data_allocs:
+                findings.append(diag(
+                    UNPLACED_TENSOR,
+                    f"kernel for node {node.name!r} writes {tensor_name!r}, "
+                    "which the memory plan never placed",
+                    artifact=loadable.name, element=node.name, index=index,
+                ))
+    return findings
+
+
+def _check_weights(
+    graph: Graph, loadable: NcoreLoadable
+) -> list[Diagnostic]:
+    findings: list[Diagnostic] = []
+    plan = loadable.memory_plan
+    prefetched_by: dict[str, int] = {}
+    for prefetch in plan.prefetches:
+        base = prefetch.tensor.split("#chunk", 1)[0]
+        needed = prefetched_by.get(base, -1)
+        prefetched_by[base] = max(needed, prefetch.needed_at_node)
+    for index, node in enumerate(loadable.segment.nodes):
+        for tensor_name in node.inputs:
+            if not graph.tensor(tensor_name).is_constant:
+                continue
+            if tensor_name not in plan.weight_allocs:
+                findings.append(diag(
+                    MISSING_WEIGHTS,
+                    f"kernel for node {node.name!r} reads constant "
+                    f"{tensor_name!r}, which has no weight-RAM allocation",
+                    artifact=loadable.name, element=node.name, index=index,
+                ))
+            elif not plan.weights_pinned:
+                needed = prefetched_by.get(tensor_name)
+                if needed is None:
+                    findings.append(diag(
+                        MISSING_WEIGHTS,
+                        f"streamed weights for node {node.name!r} constant "
+                        f"{tensor_name!r} have no prefetch in the DMA schedule",
+                        artifact=loadable.name, element=node.name, index=index,
+                    ))
+    return findings
+
+
+def _check_prefetches(
+    loadable: NcoreLoadable
+) -> list[Diagnostic]:
+    findings: list[Diagnostic] = []
+    plan = loadable.memory_plan
+    num_nodes = len(loadable.segment.nodes)
+    for position, prefetch in enumerate(plan.prefetches):
+        if not (0 <= prefetch.issue_at_node < num_nodes) or not (
+            0 <= prefetch.needed_at_node < num_nodes
+        ):
+            findings.append(diag(
+                PREFETCH_RANGE,
+                f"prefetch of {prefetch.tensor!r} indexes nodes "
+                f"({prefetch.issue_at_node}, {prefetch.needed_at_node}) but the "
+                f"segment has {num_nodes} node(s)",
+                artifact=loadable.name, element=prefetch.tensor, index=position,
+            ))
+            continue
+        if prefetch.issue_at_node > prefetch.needed_at_node:
+            findings.append(diag(
+                LATE_PREFETCH,
+                f"prefetch of {prefetch.tensor!r} is issued before node "
+                f"{prefetch.issue_at_node} but needed by node "
+                f"{prefetch.needed_at_node}",
+                artifact=loadable.name, element=prefetch.tensor, index=position,
+                hint="issue_at_node must not exceed needed_at_node",
+            ))
+    findings.extend(_check_dma_hazards(loadable, plan.prefetches))
+    return findings
+
+
+def _rows_of(loadable: NcoreLoadable, prefetch: Prefetch) -> RowRange | None:
+    base = prefetch.tensor.split("#chunk", 1)[0]
+    return loadable.memory_plan.weight_allocs.get(base)
+
+
+def _check_dma_hazards(
+    loadable: NcoreLoadable, prefetches: list[Prefetch]
+) -> list[Diagnostic]:
+    """A later prefetch into rows whose previous occupant is still unread.
+
+    Chunks of one tiled layer (same ``needed_at_node``) are consumed
+    back-to-back within the layer and are serialized by the NKL itself, so
+    only prefetches needed by *different* nodes can race.
+    """
+    findings: list[Diagnostic] = []
+    for i, earlier in enumerate(prefetches):
+        rows_a = _rows_of(loadable, earlier)
+        if rows_a is None:
+            continue
+        for position, later in enumerate(prefetches[i + 1:], start=i + 1):
+            if later.needed_at_node <= earlier.needed_at_node:
+                continue
+            rows_b = _rows_of(loadable, later)
+            if rows_b is None or not _overlap(rows_a, rows_b):
+                continue
+            if later.issue_at_node < earlier.needed_at_node:
+                findings.append(diag(
+                    DMA_HAZARD,
+                    f"prefetch of {later.tensor!r} (issued before node "
+                    f"{later.issue_at_node}) overwrites rows "
+                    f"[{rows_b.start}, {rows_b.end}) while {earlier.tensor!r} "
+                    f"is still needed at node {earlier.needed_at_node}",
+                    artifact=loadable.name, element=later.tensor, index=position,
+                ))
+    return findings
+
+
+def _check_kernels(
+    loadable: NcoreLoadable
+) -> list[Diagnostic]:
+    findings: list[Diagnostic] = []
+    node_names = [node.name for node in loadable.segment.nodes]
+    kernel_names = [kernel.node_name for kernel in loadable.kernels]
+    if kernel_names != node_names:
+        findings.append(diag(
+            KERNEL_MISMATCH,
+            f"loadable lowers nodes {kernel_names!r} but the segment contains "
+            f"{node_names!r}",
+            artifact=loadable.name, element=loadable.name,
+        ))
+    return findings
+
+
+def analyze_loadable(
+    graph: Graph,
+    loadable: NcoreLoadable,
+    config: NcoreConfig | None = None,
+    suppress: tuple[str, ...] = (),
+) -> AnalysisReport:
+    """Run the full Loadable pass stack over one compiled segment."""
+    config = config or NcoreConfig()
+    report = AnalysisReport()
+    report.extend(_check_allocs(loadable, config))
+    report.extend(_check_dataflow(graph, loadable))
+    report.extend(_check_data_overlaps(graph, loadable))
+    report.extend(_check_weights(graph, loadable))
+    report.extend(_check_prefetches(loadable))
+    if loadable.kernels:  # empty before lowering finishes; nothing to check
+        report.extend(_check_kernels(loadable))
+    if suppress:
+        report = report.suppress(suppress)
+    return report
+
+
+def analyze_compiled_model(
+    model: CompiledModel,
+    config: NcoreConfig | None = None,
+    suppress: tuple[str, ...] = (),
+) -> AnalysisReport:
+    """Analyze every loadable of a :class:`CompiledModel`."""
+    report = AnalysisReport()
+    for loadable in model.loadables.values():
+        report.merge(analyze_loadable(model.graph, loadable, config, suppress))
+    return report

@@ -1,0 +1,460 @@
+"""Program verifier: abstract interpretation of assembled Ncore programs.
+
+Re-checks a ``list[Instruction]`` against the architectural limits and the
+target :class:`~repro.ncore.config.NcoreConfig` without running the
+simulator.  Address registers are tracked as ``int | None`` (``None`` =
+statically unknown); hardware loops are interpreted until the address state
+reaches a fixpoint, after which changing registers are widened to unknown —
+so every reported out-of-bounds access is real, and unknowable accesses are
+simply not reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.instruction import (
+    MAX_NDU_OPS,
+    MAX_REPEAT,
+    MAX_ROTATE_PER_CLOCK,
+    Instruction,
+    NDUOp,
+    NDUOpcode,
+    OutOp,
+    OutOpcode,
+    SeqOpcode,
+)
+from repro.isa.operands import (
+    NUM_ADDR_REGS,
+    NUM_DMA_DESCRIPTORS,
+    NUM_LOOP_COUNTERS,
+    NUM_NDU_REGS,
+    NUM_PRED_REGS,
+    RAM_KINDS,
+    Operand,
+    OperandKind,
+)
+from repro.ncore.config import NcoreConfig
+
+from repro.analyze.diagnostics import (
+    AnalysisReport,
+    Diagnostic,
+    Rule,
+    Severity,
+    diag,
+    register_rule,
+)
+
+NDU_OPS = register_rule(
+    "isa.ndu-ops", Severity.ERROR, "too many parallel NDU micro-ops",
+    f"An instruction packs more than {MAX_NDU_OPS} NDU operations, or two "
+    "parallel NDU ops write the same output register.",
+)
+REPEAT = register_rule(
+    "isa.repeat", Severity.ERROR, "repeat count outside the 16-bit field",
+    f"The hardware repeat count must be in 1..{MAX_REPEAT}.",
+)
+ROTATE = register_rule(
+    "isa.rotate", Severity.ERROR, "rotate distance beyond the barrel width",
+    f"The NDU rotates at most {MAX_ROTATE_PER_CLOCK} bytes per clock; larger "
+    "logical rotations must be composed via the repeat field.",
+)
+REGISTER = register_rule(
+    "isa.register", Severity.ERROR, "register index out of range",
+    "An operand or unit field names a register beyond the architectural "
+    "register file (addr a0..a7, NDU n0..n3, predicate p0..p7).",
+)
+REPEAT_SEQ = register_rule(
+    "isa.repeat-seq", Severity.ERROR, "sequencer op under a hardware repeat",
+    "repeat > 1 cannot be combined with a non-NOP sequencer op; the machine "
+    "rejects this at issue time.",
+)
+LOOP_DEPTH = register_rule(
+    "isa.loop-depth", Severity.ERROR, "hardware loop nesting too deep",
+    f"Loops nest deeper than the {NUM_LOOP_COUNTERS} hardware loop counters.",
+)
+LOOP_STRUCTURE = register_rule(
+    "isa.loop-structure", Severity.ERROR, "unbalanced hardware loop",
+    "An endloop has no matching loop begin, or a loop is still open when "
+    "the program halts.",
+)
+DMA_DESCRIPTOR = register_rule(
+    "isa.dma-descriptor", Severity.ERROR, "DMA descriptor index out of range",
+    f"dmastart references a descriptor slot beyond {NUM_DMA_DESCRIPTORS}.",
+)
+SRAM_BOUNDS = register_rule(
+    "isa.sram-bounds", Severity.ERROR, "RAM access outside the scratchpad",
+    "A statically-known address register walks a RAM row outside the "
+    "configured scratchpad during the instruction's repeat issues.",
+)
+NO_HALT = register_rule(
+    "isa.no-halt", Severity.ERROR, "program never halts",
+    "Execution can fall off the end of the instruction memory; every "
+    "program must end every path with halt.",
+)
+IRAM_OVERFLOW = register_rule(
+    "isa.iram-overflow", Severity.ERROR, "program exceeds instruction RAM",
+    "The program has more instructions than the IRAM holds.",
+)
+BUDGET = register_rule(
+    "isa.budget", Severity.INFO, "analysis budget exhausted",
+    "Abstract interpretation stopped early; later instructions were only "
+    "structurally checked.",
+)
+
+# Abstract-interpretation step budget.  Real kernels converge in far fewer
+# steps because loop bodies reach an address fixpoint (or widen to unknown)
+# within a few iterations.
+_MAX_STEPS = 200_000
+
+# Iterations of a hardware loop interpreted precisely before the registers
+# it changes are widened to unknown.
+_LOOP_WIDEN_AFTER = 4
+
+
+def _check_operand(
+    operand: Operand, name: str, unit: str, index: int
+) -> list[Diagnostic]:
+    findings: list[Diagnostic] = []
+    limits = {
+        OperandKind.DATA_RAM: NUM_ADDR_REGS,
+        OperandKind.WEIGHT_RAM: NUM_ADDR_REGS,
+        OperandKind.NDU_REG: NUM_NDU_REGS,
+        OperandKind.IMMEDIATE: 64,
+    }
+    limit = limits.get(operand.kind, 1)
+    if not 0 <= operand.index < limit:
+        findings.append(diag(
+            REGISTER,
+            f"{unit} operand {operand.kind.value!r} index {operand.index} "
+            f"exceeds limit {limit}",
+            artifact=name, element=unit, index=index,
+        ))
+    return findings
+
+
+def _check_structure(
+    program: list[Instruction], name: str, config: NcoreConfig
+) -> list[Diagnostic]:
+    """Per-instruction structural limits, independent of control flow."""
+    findings: list[Diagnostic] = []
+    if len(program) > config.iram_instructions:
+        findings.append(diag(
+            IRAM_OVERFLOW,
+            f"program has {len(program)} instructions but the IRAM holds "
+            f"{config.iram_instructions}",
+            artifact=name, element="program",
+        ))
+    for index, instruction in enumerate(program):
+        if len(instruction.ndu_ops) > MAX_NDU_OPS:
+            findings.append(diag(
+                NDU_OPS,
+                f"{len(instruction.ndu_ops)} parallel NDU ops exceed the "
+                f"limit of {MAX_NDU_OPS}",
+                artifact=name, element="ndu", index=index,
+            ))
+        dsts = [op.dst for op in instruction.ndu_ops]
+        if len(dsts) != len(set(dsts)):
+            findings.append(diag(
+                NDU_OPS,
+                "parallel NDU ops write the same output register",
+                artifact=name, element="ndu", index=index,
+            ))
+        if not 1 <= instruction.repeat <= MAX_REPEAT:
+            findings.append(diag(
+                REPEAT,
+                f"repeat count {instruction.repeat} outside 1..{MAX_REPEAT}",
+                artifact=name, element="repeat", index=index,
+            ))
+        if instruction.repeat > 1 and instruction.seq.opcode is not SeqOpcode.NOP:
+            findings.append(diag(
+                REPEAT_SEQ,
+                f"sequencer op {instruction.seq.opcode.value!r} combined with "
+                f"repeat {instruction.repeat}",
+                artifact=name, element="seq", index=index,
+                hint="split the sequencer op into its own instruction",
+            ))
+        findings.extend(_check_ndu_ops(instruction.ndu_ops, name, index))
+        if instruction.npu is not None:
+            npu = instruction.npu
+            findings.extend(_check_operand(npu.data, name, "npu", index))
+            findings.extend(_check_operand(npu.weight, name, "npu", index))
+            if npu.predicate is not None and not 0 <= npu.predicate < NUM_PRED_REGS:
+                findings.append(diag(
+                    REGISTER,
+                    f"NPU predicate register {npu.predicate} exceeds "
+                    f"{NUM_PRED_REGS}",
+                    artifact=name, element="npu", index=index,
+                ))
+        if instruction.out is not None:
+            findings.extend(_check_out(instruction.out, name, index))
+        findings.extend(_check_seq(instruction, name, index))
+    return findings
+
+
+def _check_ndu_ops(
+    ops: tuple[NDUOp, ...], name: str, index: int
+) -> list[Diagnostic]:
+    findings: list[Diagnostic] = []
+    for op in ops:
+        if not 0 <= op.dst < NUM_NDU_REGS:
+            findings.append(diag(
+                REGISTER,
+                f"NDU destination register n{op.dst} exceeds {NUM_NDU_REGS}",
+                artifact=name, element="ndu", index=index,
+            ))
+        if not 0 <= op.index_reg < NUM_ADDR_REGS:
+            findings.append(diag(
+                REGISTER,
+                f"NDU index register a{op.index_reg} exceeds {NUM_ADDR_REGS}",
+                artifact=name, element="ndu", index=index,
+            ))
+        if op.opcode is NDUOpcode.ROTATE and not 0 <= op.amount <= MAX_ROTATE_PER_CLOCK:
+            findings.append(diag(
+                ROTATE,
+                f"rotate amount {op.amount} exceeds {MAX_ROTATE_PER_CLOCK} "
+                "bytes per clock",
+                artifact=name, element="ndu", index=index,
+                hint="compose large rotations with the repeat field",
+            ))
+        findings.extend(_check_operand(op.src, name, "ndu", index))
+        if op.src2 is not None:
+            findings.extend(_check_operand(op.src2, name, "ndu", index))
+    return findings
+
+
+def _check_out(out: OutOp, name: str, index: int) -> list[Diagnostic]:
+    if not 0 <= out.dst_addr_reg < NUM_ADDR_REGS:
+        return [diag(
+            REGISTER,
+            f"OUT store address register a{out.dst_addr_reg} exceeds "
+            f"{NUM_ADDR_REGS}",
+            artifact=name, element="out", index=index,
+        )]
+    return []
+
+
+def _check_seq(
+    instruction: Instruction, name: str, index: int
+) -> list[Diagnostic]:
+    findings: list[Diagnostic] = []
+    seq = instruction.seq
+    if seq.opcode in (SeqOpcode.SET_ADDR, SeqOpcode.ADD_ADDR):
+        if not 0 <= seq.arg < NUM_ADDR_REGS:
+            findings.append(diag(
+                REGISTER,
+                f"sequencer address register a{seq.arg} exceeds {NUM_ADDR_REGS}",
+                artifact=name, element="seq", index=index,
+            ))
+    if seq.opcode is SeqOpcode.DMA_START:
+        if not 0 <= seq.arg < NUM_DMA_DESCRIPTORS:
+            findings.append(diag(
+                DMA_DESCRIPTOR,
+                f"DMA descriptor {seq.arg} exceeds {NUM_DMA_DESCRIPTORS} slots",
+                artifact=name, element="seq", index=index,
+            ))
+    return findings
+
+
+@dataclass
+class _LoopFrame:
+    body_start: int
+    remaining: int
+    iterations_seen: int = 0
+    entry_addr: tuple[int | None, ...] = ()
+
+
+@dataclass
+class _AbstractState:
+    """The interpreter's machine state: addr regs as ``int | None``."""
+
+    addr: list[int | None] = field(default_factory=lambda: [0] * NUM_ADDR_REGS)
+    loops: list[_LoopFrame] = field(default_factory=list)
+
+    def widen_changed(self, baseline: tuple[int | None, ...]) -> None:
+        for reg, before in enumerate(baseline):
+            if self.addr[reg] != before:
+                self.addr[reg] = None
+
+
+def _ram_operands(instruction: Instruction) -> list[tuple[Operand, str]]:
+    """Every RAM-addressed operand of one instruction, with its unit name."""
+    operands: list[tuple[Operand, str]] = []
+    for op in instruction.ndu_ops:
+        for source in (op.src, op.src2):
+            if source is not None and source.kind in RAM_KINDS:
+                operands.append((source, "ndu"))
+    if instruction.npu is not None:
+        for source in (instruction.npu.data, instruction.npu.weight):
+            if source.kind in RAM_KINDS:
+                operands.append((source, "npu"))
+    return operands
+
+
+def _interpret(
+    program: list[Instruction], name: str, config: NcoreConfig
+) -> list[Diagnostic]:
+    """Walk the program with abstract address registers.
+
+    Reports ``isa.sram-bounds`` only for statically-known addresses,
+    ``isa.loop-*`` violations and ``isa.no-halt``.  Bails out with an
+    ``isa.budget`` note if the step budget runs dry.
+    """
+    findings: list[Diagnostic] = []
+    reported: set[tuple[str, int]] = set()
+
+    def report(rule: Rule, message: str, element: str, index: int, hint: str = "") -> None:
+        key = (rule.id, index)
+        if key in reported:  # one finding per rule per instruction
+            return
+        reported.add(key)
+        findings.append(diag(
+            rule, message, artifact=name, element=element, index=index, hint=hint,
+        ))
+
+    state = _AbstractState()
+    pc = 0
+    steps = 0
+    halted = False
+    while 0 <= pc < len(program):
+        steps += 1
+        if steps > _MAX_STEPS:
+            report(
+                BUDGET,
+                f"stopped after {_MAX_STEPS} interpreted issues; remaining "
+                "instructions were only structurally checked",
+                "program", pc,
+            )
+            return findings
+        instruction = program[pc]
+        repeat = max(1, min(instruction.repeat, MAX_REPEAT))
+
+        increments: dict[int, int] = {}
+        for operand, unit in _ram_operands(instruction):
+            if not 0 <= operand.index < NUM_ADDR_REGS:
+                continue  # reported by the structural pass
+            row = state.addr[operand.index]
+            if operand.increment:
+                increments[operand.index] = increments.get(operand.index, 0) + 1
+            if row is None:
+                continue
+            last_row = row + (repeat - 1 if operand.increment else 0)
+            if row < 0 or last_row >= config.sram_rows:
+                ram = "data RAM" if operand.kind is OperandKind.DATA_RAM else "weight RAM"
+                report(
+                    SRAM_BOUNDS,
+                    f"{unit} reads {ram} rows [{row}, {last_row}] via "
+                    f"a{operand.index}, but the RAM has {config.sram_rows} rows",
+                    unit, pc,
+                )
+        if instruction.out is not None and instruction.out.opcode in (
+            OutOpcode.STORE, OutOpcode.STORE_ACC
+        ):
+            out = instruction.out
+            if 0 <= out.dst_addr_reg < NUM_ADDR_REGS:
+                rows_per_issue = 4 if out.opcode is OutOpcode.STORE_ACC else 1
+                if out.dst_increment:
+                    increments[out.dst_addr_reg] = (
+                        increments.get(out.dst_addr_reg, 0) + rows_per_issue
+                    )
+                row = state.addr[out.dst_addr_reg]
+                if row is not None:
+                    span = rows_per_issue + (
+                        (repeat - 1) * rows_per_issue if out.dst_increment else 0
+                    )
+                    if row < 0 or row + span > config.sram_rows:
+                        report(
+                            SRAM_BOUNDS,
+                            f"out stores data RAM rows [{row}, {row + span - 1}] "
+                            f"via a{out.dst_addr_reg}, but the RAM has "
+                            f"{config.sram_rows} rows",
+                            "out", pc,
+                        )
+        for reg, per_issue in increments.items():
+            if state.addr[reg] is not None:
+                state.addr[reg] += per_issue * repeat  # type: ignore[operator]
+
+        seq = instruction.seq
+        opcode = seq.opcode
+        next_pc = pc + 1
+        if instruction.repeat > 1 and opcode is not SeqOpcode.NOP:
+            # structural pass reported isa.repeat-seq; treat the seq op as
+            # a NOP so interpretation can continue past it.
+            opcode = SeqOpcode.NOP
+        if opcode is SeqOpcode.HALT:
+            halted = True
+            break
+        if opcode is SeqOpcode.LOOP_BEGIN:
+            if len(state.loops) >= NUM_LOOP_COUNTERS:
+                report(
+                    LOOP_DEPTH,
+                    f"loop nesting exceeds the {NUM_LOOP_COUNTERS} hardware "
+                    "loop counters",
+                    "seq", pc,
+                )
+                return findings
+            state.loops.append(_LoopFrame(
+                body_start=pc + 1,
+                remaining=max(1, seq.arg2),
+                entry_addr=tuple(state.addr),
+            ))
+        elif opcode is SeqOpcode.LOOP_END:
+            if not state.loops:
+                report(
+                    LOOP_STRUCTURE,
+                    "endloop without a matching loop begin",
+                    "seq", pc,
+                )
+                return findings
+            frame = state.loops[-1]
+            frame.remaining -= 1
+            frame.iterations_seen += 1
+            if frame.remaining > 0:
+                if tuple(state.addr) == frame.entry_addr:
+                    state.loops.pop()  # fixpoint: more iterations change nothing
+                elif frame.iterations_seen >= _LOOP_WIDEN_AFTER:
+                    state.widen_changed(frame.entry_addr)
+                    state.loops.pop()
+                else:
+                    frame.entry_addr = tuple(state.addr)
+                    next_pc = frame.body_start
+            else:
+                state.loops.pop()
+        elif opcode is SeqOpcode.SET_ADDR:
+            if 0 <= seq.arg < NUM_ADDR_REGS:
+                state.addr[seq.arg] = seq.arg2
+        elif opcode is SeqOpcode.ADD_ADDR:
+            if 0 <= seq.arg < NUM_ADDR_REGS and state.addr[seq.arg] is not None:
+                state.addr[seq.arg] += seq.arg2  # type: ignore[operator]
+        pc = next_pc
+
+    if not halted:
+        report(
+            NO_HALT,
+            "execution falls off the end of the program without a halt",
+            "program", max(0, len(program) - 1),
+            hint="end the program with a halt instruction",
+        )
+    if halted and state.loops:
+        report(
+            LOOP_STRUCTURE,
+            f"{len(state.loops)} hardware loop(s) still open at halt",
+            "seq", pc,
+        )
+    return findings
+
+
+def analyze_program(
+    program: list[Instruction],
+    config: NcoreConfig | None = None,
+    name: str = "program",
+    suppress: tuple[str, ...] = (),
+) -> AnalysisReport:
+    """Run the full program pass stack over one assembled program."""
+    config = config or NcoreConfig()
+    report = AnalysisReport()
+    report.extend(_check_structure(program, name, config))
+    report.extend(_interpret(program, name, config))
+    if suppress:
+        report = report.suppress(suppress)
+    return report

@@ -10,6 +10,7 @@ Commands:
 - ``compile <graph-path>``  -- compile a serialized GIR and print the report
 - ``run <graph-path>``      -- execute a serialized GIR on a random input
 - ``trace <model>``         -- run one traced inference, write Perfetto JSON
+- ``lint <model|path>``     -- run the static analyzers; non-zero exit on errors
 """
 
 from __future__ import annotations
@@ -137,6 +138,59 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _lint_target_graph(target: str, seed: int):
+    """Resolve a lint target into (display name, converted graph).
+
+    Zoo model keys follow the benchmark path (GCL pipeline + int8
+    quantization, bf16 for GNMT); anything else is treated as a serialized
+    GIR path and linted as-is.
+    """
+    from repro.graph.passes import default_pipeline
+    from repro.models import PAPER_CHARACTERISTICS
+    from repro.quantize import calibrate, convert_to_bf16, quantize_graph
+
+    key = _resolve_model_key(target)
+    if key is not None:
+        info = PAPER_CHARACTERISTICS[key]
+        graph = info.build()
+        default_pipeline().run(graph)
+        if key == "gnmt":
+            return key, convert_to_bf16(graph)
+        batches = [info.sample_input(graph, seed=seed)]
+        return key, quantize_graph(graph, calibrate(graph, batches))
+    from repro.graph.frontends import load_graph
+
+    return target, load_graph(target)
+
+
+def _cmd_lint(args) -> int:
+    from repro.analyze import analyze_graph, analyze_model, render_json, render_text
+    from repro.runtime import compile_model
+
+    try:
+        name, graph = _lint_target_graph(args.target, args.seed)
+    except FileNotFoundError:
+        from repro.models import PAPER_CHARACTERISTICS
+
+        print(f"unknown model or graph path {args.target!r}; zoo keys: "
+              f"{sorted(PAPER_CHARACTERISTICS)}", file=sys.stderr)
+        return 2
+    suppress = tuple(args.suppress or ())
+    if args.graph_only:
+        report = analyze_graph(graph, suppress=suppress)
+    else:
+        # Lint the full artifact stack: compile without the strict gate so
+        # every finding is reported here instead of raised mid-lowering.
+        compiled = compile_model(graph, optimize=False, name=name, verify=False)
+        report = analyze_model(compiled, suppress=suppress)
+    if args.json:
+        print(render_json(report))
+    else:
+        print(f"lint {name}: ", end="")
+        print(render_text(report, verbose=args.verbose))
+    return 0 if report.ok else 1
+
+
 def _resolve_model_key(name: str) -> str | None:
     """Match a zoo key exactly, by prefix, or by substring (must be unique)."""
     from repro.models import PAPER_CHARACTERISTICS
@@ -255,6 +309,22 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--render", action="store_true",
                        help="print Fig. 10-style text trace of the Ncore tracks")
     trace.add_argument("--seed", type=int, default=0)
+    lint = sub.add_parser(
+        "lint", help="run the static analyzers over a model or GIR file"
+    )
+    lint.add_argument(
+        "target", help="zoo model key (or unique prefix) or serialized GIR path"
+    )
+    lint.add_argument("--json", action="store_true",
+                      help="emit the report as JSON instead of text")
+    lint.add_argument("--graph-only", action="store_true",
+                      help="lint only the GIR, skip lowering the Ncore segments")
+    lint.add_argument("--suppress", action="append", metavar="RULE",
+                      help="drop findings of this rule id (repeatable)")
+    lint.add_argument("--verbose", action="store_true",
+                      help="include info-severity notes in the text output")
+    lint.add_argument("--seed", type=int, default=0,
+                      help="calibration seed for the quantized zoo path")
     for name in ("compile", "run"):
         cmd = sub.add_parser(name, help=f"{name} a serialized GIR")
         cmd.add_argument("path", help="path prefix of the .json/.npz pair")
@@ -273,6 +343,7 @@ _COMMANDS = {
     "compile": _cmd_compile,
     "run": _cmd_run,
     "trace": _cmd_trace,
+    "lint": _cmd_lint,
 }
 
 

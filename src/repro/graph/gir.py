@@ -265,6 +265,16 @@ class Graph:
 
     def validate(self) -> None:
         """Check structural invariants; raises GraphError on violation."""
+        seen_names: set[str] = set()
+        for node in self.nodes:
+            if node.name in seen_names:
+                raise GraphError(f"duplicate node name {node.name!r}")
+            seen_names.add(node.name)
+            for name in (*node.inputs, *node.outputs):
+                if name not in self.tensors:
+                    raise GraphError(
+                        f"node {node.name!r} references unknown tensor {name!r}"
+                    )
         produced: set[str] = set(self.inputs)
         produced.update(name for name, t in self.tensors.items() if t.is_constant)
         for node in self.nodes:

@@ -58,13 +58,21 @@ from repro.isa.instruction import (
     SeqOp,
     SeqOpcode,
 )
-from repro.isa.operands import Operand, OperandKind
+from repro.isa.instruction import MAX_REPEAT
+from repro.isa.operands import (
+    NUM_ADDR_REGS,
+    NUM_NDU_REGS,
+    NUM_PRED_REGS,
+    Operand,
+    OperandKind,
+)
 
 
 class AssemblyError(ValueError):
     """Raised on malformed assembly input."""
 
     def __init__(self, message: str, line_no: int | None = None) -> None:
+        self.line_no = line_no
         if line_no is not None:
             message = f"line {line_no}: {message}"
         super().__init__(message)
@@ -72,12 +80,32 @@ class AssemblyError(ValueError):
 
 _OPERAND_RE = re.compile(
     r"^(?:"
-    r"(?P<ram>dram|wtram)\[a(?P<areg>[0-7])(?P<inc>\+\+)?\]"
-    r"|n(?P<ndu>[0-3])"
+    r"(?P<ram>dram|wtram)\[a(?P<areg>\d+)(?P<inc>\+\+)?\]"
+    r"|n(?P<ndu>\d+)"
     r"|#(?P<imm>\d+)"
     r"|(?P<named>dlast|out_lo|out_hi|zero|acc)"
     r")$"
 )
+
+
+def _check_reg(index: int, limit: int, what: str, line_no: int) -> int:
+    """Range-check a register index at assembly time (not at execution)."""
+    if not 0 <= index < limit:
+        raise AssemblyError(f"{what} {index} out of range (0..{limit - 1})", line_no)
+    return index
+
+
+def _addr_reg(text: str, what: str, line_no: int) -> int:
+    match = re.fullmatch(r"a(\d+)", text)
+    if match is None:
+        raise AssemblyError(f"{what} must be an address register 'aR'", line_no)
+    return _check_reg(int(match[1]), NUM_ADDR_REGS, f"{what} a-register", line_no)
+
+
+def _check_repeat(count: int, what: str, line_no: int) -> int:
+    if not 1 <= count <= MAX_REPEAT:
+        raise AssemblyError(f"{what} {count} outside 1..{MAX_REPEAT}", line_no)
+    return count
 
 _NAMED_KINDS = {
     "dlast": OperandKind.DLAST,
@@ -122,9 +150,11 @@ def _parse_operand(text: str, line_no: int) -> Operand:
         raise AssemblyError(f"cannot parse operand {text!r}", line_no)
     if match["ram"]:
         kind = OperandKind.DATA_RAM if match["ram"] == "dram" else OperandKind.WEIGHT_RAM
-        return Operand(kind, int(match["areg"]), match["inc"] is not None)
+        index = _check_reg(int(match["areg"]), NUM_ADDR_REGS, "address register", line_no)
+        return Operand(kind, index, match["inc"] is not None)
     if match["ndu"] is not None:
-        return Operand(OperandKind.NDU_REG, int(match["ndu"]))
+        index = _check_reg(int(match["ndu"]), NUM_NDU_REGS, "NDU register", line_no)
+        return Operand(OperandKind.NDU_REG, index)
     if match["imm"] is not None:
         value = int(match["imm"])
         if value > 63:
@@ -176,18 +206,20 @@ def _parse_statement(stmt: str, pending: _PendingInstruction, line_no: int) -> N
         _set_seq(pending, SeqOp(_SIMPLE_SEQ[base]), line_no)
     elif base in ("setaddr", "addaddr"):
         args = _split_args(rest)
-        if len(args) != 2 or not re.fullmatch(r"a[0-7]", args[0]):
+        if len(args) != 2:
             raise AssemblyError(f"{base} expects 'aR, value'", line_no)
+        reg = _addr_reg(args[0], base, line_no)
         opcode = SeqOpcode.SET_ADDR if base == "setaddr" else SeqOpcode.ADD_ADDR
-        _set_seq(pending, SeqOp(opcode, int(args[0][1]), int(args[1])), line_no)
+        _set_seq(pending, _build_seq(opcode, reg, int(args[1]), line_no), line_no)
     elif base == "loopn":
-        _set_seq(pending, SeqOp(SeqOpcode.LOOP_BEGIN, 0, int(rest.strip())), line_no)
+        count = _check_repeat(int(rest.strip()), "loop trip count", line_no)
+        _set_seq(pending, _build_seq(SeqOpcode.LOOP_BEGIN, 0, count, line_no), line_no)
     elif base == "dmastart":
-        _set_seq(pending, SeqOp(SeqOpcode.DMA_START, int(rest.strip())), line_no)
+        _set_seq(pending, _build_seq(SeqOpcode.DMA_START, int(rest.strip()), 0, line_no), line_no)
     elif base == "dmawait":
-        _set_seq(pending, SeqOp(SeqOpcode.DMA_WAIT, int(rest.strip())), line_no)
+        _set_seq(pending, _build_seq(SeqOpcode.DMA_WAIT, int(rest.strip()), 0, line_no), line_no)
     elif base == "event":
-        _set_seq(pending, SeqOp(SeqOpcode.EVENT, int(rest.strip())), line_no)
+        _set_seq(pending, _build_seq(SeqOpcode.EVENT, int(rest.strip()), 0, line_no), line_no)
     elif base in ("bypass", "rotl", "rotr", "broadcast64", "expand", "merge"):
         pending.ndu_ops.append(_parse_ndu(base, rest, line_no))
     elif base in _NPU_MNEMONICS:
@@ -198,11 +230,21 @@ def _parse_statement(stmt: str, pending: _PendingInstruction, line_no: int) -> N
         _set_out(pending, _parse_store(rest, dtype, line_no), line_no)
     elif base == "storeacc":
         args = _split_args(rest)
-        if len(args) != 1 or not re.fullmatch(r"a[0-7]", args[0]):
+        if len(args) != 1:
             raise AssemblyError("storeacc expects 'aR'", line_no)
-        _set_out(pending, OutOp(OutOpcode.STORE_ACC, dst_addr_reg=int(args[0][1])), line_no)
+        reg = _addr_reg(args[0], "storeacc", line_no)
+        _set_out(pending, OutOp(OutOpcode.STORE_ACC, dst_addr_reg=reg), line_no)
     else:
         raise AssemblyError(f"unknown mnemonic {mnemonic!r}", line_no)
+
+
+def _build_seq(opcode: SeqOpcode, arg: int, arg2: int, line_no: int) -> SeqOp:
+    """Construct a SeqOp, converting its ValueError into a located
+    AssemblyError (DMA descriptor / address register range checks)."""
+    try:
+        return SeqOp(opcode, arg, arg2)
+    except ValueError as exc:
+        raise AssemblyError(str(exc), line_no) from exc
 
 
 def _set_seq(pending: _PendingInstruction, op: SeqOp, line_no: int) -> None:
@@ -223,54 +265,66 @@ def _set_out(pending: _PendingInstruction, op: OutOp, line_no: int) -> None:
     pending.out = op
 
 
+def _ndu_reg(text: str, what: str, line_no: int) -> int:
+    match = re.fullmatch(r"n(\d+)", text)
+    if match is None:
+        raise AssemblyError(f"{what} must be an NDU register 'nD'", line_no)
+    return _check_reg(int(match[1]), NUM_NDU_REGS, f"{what} n-register", line_no)
+
+
 def _parse_ndu(base: str, rest: str, line_no: int) -> NDUOp:
     args = _split_args(rest)
-    if not args or not re.fullmatch(r"n[0-3]", args[0]):
+    if not args:
         raise AssemblyError(f"{base} expects an NDU destination register first", line_no)
-    dst = int(args[0][1])
-    if base == "bypass":
-        if len(args) != 2:
-            raise AssemblyError("bypass expects 'nD, src'", line_no)
-        return NDUOp(NDUOpcode.BYPASS, dst, _parse_operand(args[1], line_no))
-    if base in ("rotl", "rotr"):
+    dst = _ndu_reg(args[0], f"{base} destination", line_no)
+    try:
+        if base == "bypass":
+            if len(args) != 2:
+                raise AssemblyError("bypass expects 'nD, src'", line_no)
+            return NDUOp(NDUOpcode.BYPASS, dst, _parse_operand(args[1], line_no))
+        if base in ("rotl", "rotr"):
+            if len(args) != 3:
+                raise AssemblyError(f"{base} expects 'nD, src, amount'", line_no)
+            direction = RotateDirection.LEFT if base == "rotl" else RotateDirection.RIGHT
+            return NDUOp(
+                NDUOpcode.ROTATE,
+                dst,
+                _parse_operand(args[1], line_no),
+                amount=int(args[2]),
+                direction=direction,
+            )
+        if base == "broadcast64":
+            if len(args) not in (3, 4):
+                raise AssemblyError("broadcast64 expects 'nD, src, aI[, inc]'", line_no)
+            index_reg = _addr_reg(args[2], "broadcast64 index", line_no)
+            increment = len(args) == 4
+            if increment and args[3] != "inc":
+                raise AssemblyError(f"unexpected token {args[3]!r}", line_no)
+            return NDUOp(
+                NDUOpcode.BROADCAST64,
+                dst,
+                _parse_operand(args[1], line_no),
+                index_reg=index_reg,
+                index_increment=increment,
+            )
+        if base == "expand":
+            if len(args) != 2:
+                raise AssemblyError("expand expects 'nD, src'", line_no)
+            return NDUOp(NDUOpcode.EXPAND, dst, _parse_operand(args[1], line_no))
+        # merge
         if len(args) != 3:
-            raise AssemblyError(f"{base} expects 'nD, src, amount'", line_no)
-        direction = RotateDirection.LEFT if base == "rotl" else RotateDirection.RIGHT
+            raise AssemblyError("merge expects 'nD, src, nMask'", line_no)
+        mask = _ndu_reg(args[2], "merge mask", line_no)
         return NDUOp(
-            NDUOpcode.ROTATE,
+            NDUOpcode.MERGE,
             dst,
             _parse_operand(args[1], line_no),
-            amount=int(args[2]),
-            direction=direction,
+            src2=Operand(OperandKind.NDU_REG, mask),
         )
-    if base == "broadcast64":
-        if len(args) not in (3, 4):
-            raise AssemblyError("broadcast64 expects 'nD, src, aI[, inc]'", line_no)
-        if not re.fullmatch(r"a[0-7]", args[2]):
-            raise AssemblyError("broadcast64 index must be an address register", line_no)
-        increment = len(args) == 4
-        if increment and args[3] != "inc":
-            raise AssemblyError(f"unexpected token {args[3]!r}", line_no)
-        return NDUOp(
-            NDUOpcode.BROADCAST64,
-            dst,
-            _parse_operand(args[1], line_no),
-            index_reg=int(args[2][1]),
-            index_increment=increment,
-        )
-    if base == "expand":
-        if len(args) != 2:
-            raise AssemblyError("expand expects 'nD, src'", line_no)
-        return NDUOp(NDUOpcode.EXPAND, dst, _parse_operand(args[1], line_no))
-    # merge
-    if len(args) != 3 or not re.fullmatch(r"n[0-3]", args[2]):
-        raise AssemblyError("merge expects 'nD, src, nMask'", line_no)
-    return NDUOp(
-        NDUOpcode.MERGE,
-        dst,
-        _parse_operand(args[1], line_no),
-        src2=Operand(OperandKind.NDU_REG, int(args[2][1])),
-    )
+    except ValueError as exc:
+        if isinstance(exc, AssemblyError):
+            raise
+        raise AssemblyError(str(exc), line_no) from exc
 
 
 def _parse_npu(
@@ -295,21 +349,26 @@ def _parse_npu(
             zero_offset = True
         elif flag == "neighbor":
             from_neighbor = True
-        elif re.fullmatch(r"pred[0-7]", flag):
-            predicate = int(flag[4])
+        elif re.fullmatch(r"pred\d+", flag):
+            predicate = _check_reg(
+                int(flag[4:]), NUM_PRED_REGS, "predicate register", line_no
+            )
         else:
             raise AssemblyError(f"unknown NPU flag {flag!r}", line_no)
-    return NPUOp(
-        _NPU_MNEMONICS[base],
-        data,
-        weight,
-        accumulate=accumulate,
-        data_shift=data_shift,
-        zero_offset=zero_offset,
-        from_neighbor=from_neighbor,
-        predicate=predicate,
-        dtype=dtype if dtype is not None else NcoreDType.INT8,
-    )
+    try:
+        return NPUOp(
+            _NPU_MNEMONICS[base],
+            data,
+            weight,
+            accumulate=accumulate,
+            data_shift=data_shift,
+            zero_offset=zero_offset,
+            from_neighbor=from_neighbor,
+            predicate=predicate,
+            dtype=dtype if dtype is not None else NcoreDType.INT8,
+        )
+    except ValueError as exc:
+        raise AssemblyError(str(exc), line_no) from exc
 
 
 def _parse_requant(rest: str, dtype: NcoreDType | None, line_no: int) -> OutOp:
@@ -328,8 +387,9 @@ def _parse_requant(rest: str, dtype: NcoreDType | None, line_no: int) -> OutOp:
 
 def _parse_store(rest: str, dtype: NcoreDType | None, line_no: int) -> OutOp:
     args = _split_args(rest)
-    if not args or not re.fullmatch(r"a[0-7]", args[0]):
+    if not args:
         raise AssemblyError("store expects 'aR[, inc][, high]'", line_no)
+    reg = _addr_reg(args[0], "store", line_no)
     increment = "inc" in [a.lower() for a in args[1:]]
     high = "high" in [a.lower() for a in args[1:]]
     for extra in args[1:]:
@@ -337,7 +397,7 @@ def _parse_store(rest: str, dtype: NcoreDType | None, line_no: int) -> OutOp:
             raise AssemblyError(f"unknown store flag {extra!r}", line_no)
     return OutOp(
         OutOpcode.STORE,
-        dst_addr_reg=int(args[0][1]),
+        dst_addr_reg=reg,
         dst_increment=increment,
         source_high=high,
         dtype=dtype if dtype is not None else NcoreDType.INT8,
@@ -357,7 +417,8 @@ def assemble(source: str) -> list[Instruction]:
         if loop_match:
             if fused is not None:
                 raise AssemblyError("nested fused loops are not supported", line_no)
-            fused = _PendingInstruction(repeat=int(loop_match[1]))
+            repeat = _check_repeat(int(loop_match[1]), "repeat count", line_no)
+            fused = _PendingInstruction(repeat=repeat)
             fused_start_line = line_no
             continue
         if line == "}":

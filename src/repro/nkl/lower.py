@@ -132,12 +132,19 @@ def lower_segment(
     config: NcoreConfig | None = None,
     name: str = "segment",
     compress_sparse_weights: bool = False,
+    verify: bool = True,
 ) -> NcoreLoadable:
     """Compile one Ncore segment into a loadable.
 
     ``compress_sparse_weights`` stores weights zero-RLE-compressed and has
     the NDU decompress them inline, shrinking the DMA traffic (and the
     streaming stalls) for sparse models at no NPU cost.
+
+    ``verify`` (the default) runs the ``repro.analyze`` Loadable verifier
+    over the result and raises
+    :class:`~repro.analyze.AnalysisError` on error-severity findings —
+    an illegal DMA schedule or uninitialized scratchpad read is rejected
+    here, at compile time, instead of hanging the machine mid-run.
     """
     if segment.target != "ncore":
         raise ValueError("lower_segment only compiles Ncore segments")
@@ -164,4 +171,8 @@ def lower_segment(
             )
         )
     loadable.weight_image_bytes = sum(k.weight_bytes for k in loadable.kernels)
+    if verify:
+        from repro.analyze import analyze_loadable, enforce
+
+        enforce(analyze_loadable(graph, loadable, config), context=name)
     return loadable

@@ -39,8 +39,16 @@ def compile_model(
     config: NcoreConfig | None = None,
     optimize: bool = True,
     name: str | None = None,
+    verify: bool = True,
 ) -> CompiledModel:
-    """Run the GCL pipeline, partition, and lower the Ncore segments."""
+    """Run the GCL pipeline, partition, and lower the Ncore segments.
+
+    ``verify`` (the default) gates compilation on the ``repro.analyze``
+    static verifiers: the GIR verifier runs over the partitioned graph and
+    the Loadable verifier over every lowered segment, raising
+    :class:`~repro.analyze.AnalysisError` on error-severity findings so a
+    malformed graph or illegal DMA schedule never reaches the runtime.
+    """
     with get_tracer().span(
         "delegate.compile", track="delegate", model=name or graph.name
     ) as span:
@@ -49,6 +57,14 @@ def compile_model(
                 default_pipeline().run(graph)
         with get_tracer().span("delegate.partition", track="delegate"):
             segments = partition(graph)
+        if verify:
+            from repro.analyze import analyze_graph, enforce
+
+            with get_tracer().span("delegate.verify", track="delegate"):
+                enforce(
+                    analyze_graph(graph, segments=segments),
+                    context=name or graph.name,
+                )
         model = CompiledModel(
             name=name or graph.name, graph=graph, segments=segments
         )
@@ -59,7 +75,8 @@ def compile_model(
                     nodes=len(segment.nodes),
                 ):
                     model.loadables[index] = lower_segment(
-                        graph, segment, config, name=f"{model.name}_seg{index}"
+                        graph, segment, config, name=f"{model.name}_seg{index}",
+                        verify=verify,
                     )
         span.set(
             segments=len(segments),

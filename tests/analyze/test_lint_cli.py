@@ -1,0 +1,82 @@
+"""End-to-end tests of the ``repro lint`` CLI command.
+
+The clean-run requirement: every zoo model compiles through the benchmark
+path (GCL pipeline + quantization) and lints clean, exit code 0.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.dtypes import NcoreDType, QuantParams
+from repro.graph.frontends.serialization import save_graph
+from repro.graph.gir import Graph, Node, Tensor, TensorType
+from repro.models import PAPER_CHARACTERISTICS
+
+
+class TestZooCleanRun:
+    @pytest.mark.parametrize("key", sorted(PAPER_CHARACTERISTICS))
+    def test_zoo_model_lints_clean(self, key, capsys):
+        assert main(["lint", key]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_json_output(self, capsys):
+        assert main(["lint", "mobilenet_v1", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["ok"] is True
+        assert data["errors"] == 0
+
+
+class TestLintTargets:
+    def test_unknown_target_exits_2(self, capsys):
+        assert main(["lint", "no_such_model"]) == 2
+        assert "zoo keys" in capsys.readouterr().err
+
+    def _save_bad_graph(self, tmp_path):
+        graph = Graph("bad")
+        graph.add_input("x", TensorType((1, 8)))
+        graph.add_tensor(Tensor("y", TensorType((1, 9))))  # shape lie
+        graph.add_node(Node("r0", "relu", ["x"], ["y"]))
+        graph.mark_output("y")
+        path = tmp_path / "bad"
+        save_graph(graph, path)
+        return str(path)
+
+    def _save_clean_graph(self, tmp_path):
+        qp = QuantParams(scale=0.05, zero_point=128)
+        ttype = TensorType((1, 4, 4, 16), NcoreDType.UINT8)
+        graph = Graph("clean")
+        graph.add_input("x", ttype, quant=qp)
+        graph.add_tensor(Tensor("y", ttype, quant=qp))
+        graph.add_node(Node("r0", "relu", ["x"], ["y"]))
+        graph.mark_output("y")
+        path = tmp_path / "clean"
+        save_graph(graph, path)
+        return str(path)
+
+    def test_gir_file_with_seeded_error_exits_1(self, tmp_path, capsys):
+        path = self._save_bad_graph(tmp_path)
+        assert main(["lint", path, "--graph-only"]) == 1
+        assert "gir.shape-mismatch" in capsys.readouterr().out
+
+    def test_suppress_flag_drops_the_rule(self, tmp_path):
+        path = self._save_bad_graph(tmp_path)
+        assert main(
+            ["lint", path, "--graph-only", "--suppress", "gir.shape-mismatch"]
+        ) == 0
+
+    def test_clean_gir_file_full_stack(self, tmp_path, capsys):
+        path = self._save_clean_graph(tmp_path)
+        assert main(["lint", path]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_json_reports_findings(self, tmp_path, capsys):
+        path = self._save_bad_graph(tmp_path)
+        assert main(["lint", path, "--graph-only", "--json"]) == 1
+        data = json.loads(capsys.readouterr().out)
+        assert data["ok"] is False
+        assert any(
+            d["rule"] == "gir.shape-mismatch" for d in data["diagnostics"]
+        )

@@ -1,0 +1,231 @@
+"""One seeded violation per program (ISA) analyzer rule.
+
+Structural limits are enforced by the instruction dataclasses themselves,
+so structural seeds forge field values past ``__post_init__`` the way a
+corrupted instruction image would; control-flow and bounds seeds use real
+assembled programs.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.analyze import Severity, analyze_program
+from repro.analyze import program_rules
+from repro.dtypes import QuantParams
+from repro.isa import assemble
+from repro.isa.instruction import Instruction
+from repro.ncore.config import NcoreConfig
+
+
+def _find(report, rule_id):
+    found = report.by_rule(rule_id)
+    assert found, f"no {rule_id} in {[d.rule for d in report]}"
+    return found[0]
+
+
+def _forge(template, **overrides):
+    """Copy a frozen dataclass instance, bypassing __post_init__ validation."""
+    clone = object.__new__(type(template))
+    for f in dataclasses.fields(template):
+        object.__setattr__(clone, f.name, overrides.get(f.name, getattr(template, f.name)))
+    return clone
+
+
+def _nop():
+    (inst,) = assemble("bypass n0, n1")
+    return inst
+
+
+def _halt():
+    (inst,) = assemble("halt")
+    return inst
+
+
+class TestCleanPrograms:
+    def test_small_program_is_clean(self):
+        program = assemble(
+            "setaddr a0, 0\n"
+            "setaddr a1, 128\n"
+            "loop 8 {\n"
+            "  bypass n0, dram[a0++]\n"
+            "  mac n0, wtram[a1++]\n"
+            "}\n"
+            "requant.uint8 relu\n"
+            "halt\n"
+        )
+        report = analyze_program(program)
+        assert report.ok and len(report) == 0
+
+    def test_real_matmul_program_is_clean(self):
+        from repro.ncore import Ncore
+        from repro.nkl.programs import emit_matmul_program
+
+        qp = QuantParams(scale=0.02, zero_point=128)
+        program, _ = emit_matmul_program(
+            Ncore(),
+            np.ones((8, 32), np.uint8),
+            np.ones((32, 8), np.uint8),
+            qp, qp, qp,
+        )
+        assert analyze_program(program).ok
+
+
+class TestStructuralRules:
+    def test_ndu_ops_limit(self):
+        op = _nop().ndu_ops[0]
+        ops = tuple(_forge(op, dst=d) for d in (0, 1, 2, 3))
+        inst = _forge(_halt(), ndu_ops=ops)
+        finding = _find(analyze_program([inst]), "isa.ndu-ops")
+        assert finding.location.index == 0
+
+    def test_ndu_duplicate_destination(self):
+        op = _nop().ndu_ops[0]
+        inst = _forge(_halt(), ndu_ops=(op, op))
+        assert _find(analyze_program([inst]), "isa.ndu-ops")
+
+    def test_repeat_out_of_range(self):
+        inst = _forge(_halt(), repeat=0)
+        assert _find(analyze_program([inst]), "isa.repeat")
+
+    def test_rotate_amount(self):
+        (rot,) = assemble("rotl n1, n1, 64")
+        op = _forge(rot.ndu_ops[0], amount=100)
+        inst = _forge(_halt(), ndu_ops=(op,))
+        finding = _find(analyze_program([inst]), "isa.rotate")
+        assert finding.location.element == "ndu"
+
+    def test_register_ndu_destination(self):
+        op = _forge(_nop().ndu_ops[0], dst=7)
+        inst = _forge(_halt(), ndu_ops=(op,))
+        assert _find(analyze_program([inst]), "isa.register")
+
+    def test_register_operand_index(self):
+        (inst,) = assemble("bypass n0, dram[a0]")
+        op = inst.ndu_ops[0]
+        bad = _forge(op, src=_forge(op.src, index=9))
+        assert _find(
+            analyze_program([_forge(_halt(), ndu_ops=(bad,))]), "isa.register"
+        )
+
+    def test_register_npu_predicate(self):
+        (inst,) = assemble("mac n0, n1, pred3")
+        bad = _forge(inst, npu=_forge(inst.npu, predicate=9))
+        assert _find(analyze_program([bad, _halt()]), "isa.register")
+
+    def test_register_out_store(self):
+        (inst,) = assemble("store a6")
+        bad = _forge(inst, out=_forge(inst.out, dst_addr_reg=8))
+        assert _find(analyze_program([bad, _halt()]), "isa.register")
+
+    def test_repeat_with_sequencer_op(self):
+        (setaddr,) = assemble("setaddr a0, 0")
+        bad = _forge(_nop(), seq=setaddr.seq, repeat=2)
+        finding = _find(analyze_program([bad, _halt()]), "isa.repeat-seq")
+        assert finding.location.element == "seq"
+
+    def test_dma_descriptor(self):
+        (dma,) = assemble("dmastart 2")
+        bad = _forge(dma, seq=_forge(dma.seq, arg=12))
+        assert _find(analyze_program([bad, _halt()]), "isa.dma-descriptor")
+
+    def test_iram_overflow(self):
+        program = [_nop()] * NcoreConfig().iram_instructions + [_halt()]
+        report = analyze_program(program)
+        assert _find(report, "isa.iram-overflow")
+        assert not report.by_rule("isa.no-halt")
+
+
+class TestControlFlowRules:
+    def test_no_halt(self):
+        program = assemble("bypass n0, dram[a0]")
+        finding = _find(analyze_program(program), "isa.no-halt")
+        assert finding.location.index == len(program) - 1
+
+    def test_endloop_without_begin(self):
+        program = assemble("endloop\nhalt")
+        finding = _find(analyze_program(program), "isa.loop-structure")
+        assert finding.location.index == 0
+
+    def test_loop_open_at_halt(self):
+        program = assemble("loopn 4\nbypass n0, n1\nhalt")
+        assert _find(analyze_program(program), "isa.loop-structure")
+
+    def test_loop_depth(self):
+        depth = 5  # one more than the 4 hardware loop counters
+        source = "loopn 2\n" * depth + "bypass n0, n1\n" + "endloop\n" * depth + "halt"
+        finding = _find(analyze_program(assemble(source)), "isa.loop-depth")
+        assert finding.location.index == depth - 1
+
+    def test_balanced_loops_are_clean(self):
+        source = (
+            "loopn 4\nsetaddr a0, 0\nloopn 8\naddaddr a0, 1\nendloop\nendloop\nhalt"
+        )
+        assert analyze_program(assemble(source)).ok
+
+
+class TestSramBounds:
+    def test_setaddr_past_end(self):
+        rows = NcoreConfig().sram_rows
+        program = assemble(f"setaddr a0, {rows}\nbypass n0, dram[a0]\nhalt")
+        finding = _find(analyze_program(program), "isa.sram-bounds")
+        assert finding.location.index == 1
+
+    def test_repeat_walks_off_the_end(self):
+        rows = NcoreConfig().sram_rows
+        program = assemble(
+            f"setaddr a0, {rows - 8}\n"
+            "loop 16 {\n"
+            "  bypass n0, dram[a0++]\n"
+            "}\n"
+            "halt"
+        )
+        assert _find(analyze_program(program), "isa.sram-bounds")
+
+    def test_store_walks_off_the_end(self):
+        rows = NcoreConfig().sram_rows
+        program = assemble(
+            f"setaddr a2, {rows - 2}\n"
+            "loop 4 {\n"
+            "  mac n0, n1\n"
+            "  store a2, inc\n"
+            "}\n"
+            "halt"
+        )
+        assert _find(analyze_program(program), "isa.sram-bounds")
+
+    def test_in_bounds_walk_is_clean(self):
+        program = assemble(
+            "setaddr a0, 0\nloop 64 {\n  bypass n0, dram[a0++]\n}\nhalt"
+        )
+        assert analyze_program(program).ok
+
+    def test_unknown_addresses_are_not_reported(self):
+        # a0 widens to unknown after the loop changes it every iteration
+        # with a data-dependent stride the analyzer cannot see; no false
+        # positive may be emitted for the later access.
+        program = assemble(
+            "setaddr a0, 0\n"
+            "loopn 1000\n"
+            "addaddr a0, 3\n"
+            "endloop\n"
+            "bypass n0, dram[a0]\n"
+            "halt"
+        )
+        assert analyze_program(program).ok
+
+    def test_custom_config_rows(self):
+        config = NcoreConfig(sram_rows=64)
+        program = assemble("setaddr a0, 100\nbypass n0, dram[a0]\nhalt")
+        assert _find(analyze_program(program, config), "isa.sram-bounds")
+
+
+class TestBudget:
+    def test_budget_note_is_info(self, monkeypatch):
+        monkeypatch.setattr(program_rules, "_MAX_STEPS", 5)
+        program = [_nop()] * 10 + [_halt()]
+        report = analyze_program(program)
+        finding = _find(report, "isa.budget")
+        assert finding.severity is Severity.INFO
+        assert report.ok  # advisory only

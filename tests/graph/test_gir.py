@@ -70,6 +70,26 @@ class TestGraphConstruction:
         with pytest.raises(GraphError, match="topologically"):
             g.validate()
 
+    def test_validate_rejects_unknown_tensor_reference(self):
+        # a pass that edits node.inputs in place can dangle a reference
+        # add_node would have rejected
+        g = simple_conv_graph()
+        g.nodes[0].inputs[0] = "ghost"
+        with pytest.raises(GraphError, match="unknown tensor 'ghost'"):
+            g.validate()
+
+    def test_validate_rejects_duplicate_node_names(self):
+        g = simple_conv_graph()
+        g.nodes.append(Node("conv", "identity", ["x"], ["y"]))
+        with pytest.raises(GraphError, match="duplicate node name"):
+            g.validate()
+
+    def test_validate_rejects_multi_producer(self):
+        g = simple_conv_graph()
+        g.add_node(Node("again", "identity", ["x"], ["y"]))
+        with pytest.raises(GraphError, match="produced more than once"):
+            g.validate()
+
 
 class TestQueries:
     def test_producer_and_consumers(self):

@@ -181,6 +181,51 @@ class TestErrors:
             assemble("bypass n0, #64")
 
 
+class TestRangeChecks:
+    """Register indices and repeat counts are rejected at assembly time."""
+
+    def test_address_register_in_operand(self):
+        with pytest.raises(AssemblyError, match="address register 9"):
+            assemble("bypass n0, dram[a9]")
+
+    def test_address_register_in_setaddr(self):
+        with pytest.raises(AssemblyError, match="a-register 8"):
+            assemble("setaddr a8, 0")
+
+    def test_address_register_in_store(self):
+        with pytest.raises(AssemblyError, match="a-register 12"):
+            assemble("store a12")
+
+    def test_ndu_register_source(self):
+        with pytest.raises(AssemblyError, match="NDU register 5"):
+            assemble("bypass n0, n5")
+
+    def test_ndu_register_destination(self):
+        with pytest.raises(AssemblyError, match="n-register 4"):
+            assemble("bypass n4, n0")
+
+    def test_predicate_register(self):
+        with pytest.raises(AssemblyError, match="predicate register 9"):
+            assemble("mac n0, n1, pred9")
+
+    def test_fused_repeat_count(self):
+        with pytest.raises(AssemblyError, match="70000 outside 1..65535"):
+            assemble("loop 70000 {\nmac n0, n1\n}")
+
+    def test_loopn_trip_count(self):
+        with pytest.raises(AssemblyError, match="trip count 0"):
+            assemble("loopn 0")
+
+    def test_dma_descriptor_index(self):
+        with pytest.raises(AssemblyError, match="descriptor 12"):
+            assemble("dmastart 12")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AssemblyError, match="line 3") as exc_info:
+            assemble("; header comment\nhalt\nsetaddr a8, 0")
+        assert exc_info.value.line_no == 3
+
+
 class TestRoundTrip:
     def test_fig6_round_trip(self):
         program = assemble(TestFusion.FIG6)
