@@ -1,0 +1,80 @@
+"""Guard for the engine dispatch overhead.
+
+The resumable ``Ncore.step`` API and the discrete-event engine exist so N
+machines and a query stream can interleave — not to slow down the common
+case.  A machine driven through :class:`repro.engine.MachineTask` does the
+same interpreter work as a blocking ``execute_program`` call plus the
+engine's bookkeeping (heap pushes, generator resumes, timeout events), so
+the wall-clock difference *is* the dispatch overhead.  This guard keeps it
+under 5% on the Fig. 6 fused-convolution workload even at a deliberately
+fine interleave granularity (64-cycle budgets, ~9 engine turns per run).
+
+Run:  python -m pytest benchmarks/bench_engine_overhead.py -q
+"""
+
+import time
+
+from bench_simulator import build_machine
+
+from repro.engine import Engine, MachineTask
+
+REPEATS = 30
+OVERHEAD_BUDGET = 0.05
+BUDGET_CYCLES = 64  # much finer than DEFAULT_BUDGET_CYCLES: worst case
+
+
+def _timed_pair():
+    """Interleaved min-of-repeats: blocking run vs engine-driven stepping."""
+    machine, program = build_machine()
+
+    def direct():
+        machine.reset()
+        return machine.execute_program(program)
+
+    def engined():
+        machine.reset()
+        engine = Engine()
+        task = MachineTask(
+            engine, machine, program, budget_cycles=BUDGET_CYCLES, trace=False
+        )
+        engine.run()
+        return task.run
+
+    reference = direct()
+    direct_best = engine_best = float("inf")
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        direct()
+        direct_best = min(direct_best, time.perf_counter() - start)
+        start = time.perf_counter()
+        run = engined()
+        engine_best = min(engine_best, time.perf_counter() - start)
+    assert run.halted and run.cycles == reference.cycles
+    assert len(run.steps) > 1  # the engine really did slice the run
+    return direct_best, engine_best
+
+
+def test_engine_dispatch_overhead_under_five_percent():
+    direct_best, engine_best = _timed_pair()
+    overhead = engine_best / direct_best - 1.0
+    assert overhead < OVERHEAD_BUDGET, (
+        f"engine-driven stepping is {overhead:.1%} slower than a blocking "
+        f"run (budget {OVERHEAD_BUDGET:.0%}); dispatch got too expensive"
+    )
+
+
+def test_engine_event_throughput():
+    """A floor on raw event dispatch: pure timeouts, no machine attached."""
+    engine = Engine()
+
+    def ticker():
+        for _ in range(10_000):
+            yield engine.timeout(1e-6)
+
+    engine.process(ticker())
+    start = time.perf_counter()
+    engine.run()
+    elapsed = time.perf_counter() - start
+    rate = engine.events_dispatched / elapsed
+    # Generous floor: even CI containers do millions of heap ops a second.
+    assert rate > 50_000, f"engine dispatched only {rate:,.0f} events/s"

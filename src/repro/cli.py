@@ -6,6 +6,7 @@ Commands:
 - ``selftest``              -- run the power-on self-test on a fresh SoC model
 - ``models``                -- the model zoo with Table V characteristics
 - ``bench <model>``         -- latency/throughput/split for one zoo model
+- ``serve <model>``         -- MLPerf Server scenario on the event engine
 - ``reproduce``             -- regenerate every paper table/figure in one run
 - ``compile <graph-path>``  -- compile a serialized GIR and print the report
 - ``run <graph-path>``      -- execute a serialized GIR on a random input
@@ -89,6 +90,45 @@ def _cmd_bench(args) -> int:
     print(f"  SingleStream latency: {system.single_stream_latency_seconds() * 1e3:8.3f} ms")
     print(f"  Offline throughput:   {system.offline_throughput_ips(cores=args.cores):8.1f} IPS "
           f"({args.cores} cores)")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.models import PAPER_CHARACTERISTICS
+    from repro.perf.serving import run_server
+    from repro.perf.system import get_system
+
+    key = _resolve_model_key(args.model)
+    if key is None:
+        print(f"unknown model {args.model!r}; try one of "
+              f"{sorted(PAPER_CHARACTERISTICS)}", file=sys.stderr)
+        return 2
+    if args.queries < 1:
+        print("--queries must be at least 1", file=sys.stderr)
+        return 2
+    if args.qps is not None and args.qps <= 0:
+        print("--qps must be positive", file=sys.stderr)
+        return 2
+    result = run_server(
+        get_system(key),
+        qps=args.qps,
+        queries=args.queries,
+        seed=args.seed,
+        max_batch=args.max_batch,
+        max_wait=args.max_wait_us * 1e-6,
+        cores=args.cores,
+        sockets=args.sockets,
+    )
+    print(f"{PAPER_CHARACTERISTICS[key].display} Server scenario "
+          f"({result.queries} queries, seed {result.seed}, "
+          f"{result.sockets} socket{'s' if result.sockets > 1 else ''})")
+    print(f"  offered load:    {result.offered_qps:10,.1f} QPS")
+    print(f"  sustained:       {result.sustained_qps:10,.1f} QPS")
+    print(f"  latency p50:     {result.p50_latency_ms:10.3f} ms")
+    print(f"  latency p90:     {result.p90_latency_seconds * 1e3:10.3f} ms")
+    print(f"  latency p99:     {result.p99_latency_ms:10.3f} ms")
+    print(f"  mean batch size: {result.mean_batch_size:10.2f} "
+          f"(max {result.max_batch}, wait {result.max_wait_seconds * 1e6:.0f} us)")
     return 0
 
 
@@ -298,6 +338,20 @@ def build_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser("bench", help="benchmark one zoo model")
     bench.add_argument("model", help="model key, e.g. resnet50_v15")
     bench.add_argument("--cores", type=int, default=8)
+    serve = sub.add_parser(
+        "serve", help="run the MLPerf Server scenario on the event engine"
+    )
+    serve.add_argument("model", help="zoo model key or unique prefix, e.g. resnet")
+    serve.add_argument("--qps", type=float, default=None,
+                       help="offered Poisson load (default: 70%% of Offline capacity)")
+    serve.add_argument("--queries", type=int, default=512)
+    serve.add_argument("--max-batch", type=int, default=8,
+                       help="dynamic batching: seal at this many queries")
+    serve.add_argument("--max-wait-us", type=float, default=200.0,
+                       help="dynamic batching: seal after this many microseconds")
+    serve.add_argument("--cores", type=int, default=8, help="x86 cores per socket")
+    serve.add_argument("--sockets", type=int, default=1)
+    serve.add_argument("--seed", type=int, default=0)
     trace = sub.add_parser(
         "trace", help="run one traced inference and write Perfetto JSON"
     )
@@ -340,6 +394,7 @@ _COMMANDS = {
     "models": _cmd_models,
     "reproduce": _cmd_reproduce,
     "bench": _cmd_bench,
+    "serve": _cmd_serve,
     "compile": _cmd_compile,
     "run": _cmd_run,
     "trace": _cmd_trace,

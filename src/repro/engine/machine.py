@@ -1,0 +1,113 @@
+"""Engine adapter for the instruction-level Ncore simulator.
+
+:class:`MachineTask` runs one :class:`~repro.ncore.machine.Ncore` as a
+cooperative engine task: each turn it calls the resumable
+:meth:`~repro.ncore.machine.Ncore.step` with a cycle budget, advances the
+engine clock by the simulated cycles actually consumed, and yields — so
+N machines (one per socket in a multisocket system) interleave under one
+engine clock instead of each monopolising a blocking ``run()`` loop.
+
+The budget is the interleaving granularity, not a correctness knob:
+architectural state lives in the machine, so any slicing produces the
+same final state and the same total cycle count as one blocking run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.engine.core import Engine, Event, Task
+from repro.isa import Instruction
+from repro.ncore.machine import MachineRunResult, Ncore
+
+#: Default interleave granularity (cycles per engine turn).
+DEFAULT_BUDGET_CYCLES = 4096
+
+
+@dataclass
+class MachineRun:
+    """Aggregate outcome of one engine-driven machine execution."""
+
+    steps: list[MachineRunResult] = field(default_factory=list)
+    started_at: float = 0.0
+    finished_at: float = 0.0
+
+    @property
+    def cycles(self) -> int:
+        return sum(step.cycles for step in self.steps)
+
+    @property
+    def instructions(self) -> int:
+        return sum(step.instructions for step in self.steps)
+
+    @property
+    def halted(self) -> bool:
+        return bool(self.steps) and self.steps[-1].halted
+
+    @property
+    def stop_reason(self) -> str:
+        return self.steps[-1].stop_reason if self.steps else "not-run"
+
+
+class MachineTask:
+    """One Ncore machine scheduled cooperatively on an engine.
+
+    ``task`` (a :class:`~repro.engine.core.Task`) triggers with the
+    :class:`MachineRun` when the program halts, so other engine tasks can
+    ``yield machine_task.task`` to join on completion.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        machine: Ncore,
+        program: list[Instruction] | None = None,
+        budget_cycles: int = DEFAULT_BUDGET_CYCLES,
+        name: str = "ncore",
+        trace: bool = True,
+    ) -> None:
+        if budget_cycles < 1:
+            raise ValueError("budget_cycles must be at least 1")
+        self.engine = engine
+        self.machine = machine
+        self.budget_cycles = budget_cycles
+        self.name = name
+        self.trace = trace
+        self.run = MachineRun()
+        if program is not None:
+            machine.load_program(program)
+        self.task: Task = engine.process(self._body(), name=name)
+
+    def _body(self) -> Iterator[Event]:
+        machine = self.machine
+        clock_hz = machine.config.clock_hz
+        self.run.started_at = self.engine.now
+        while not machine.halted:
+            start = self.engine.now
+            result = machine.step(self.budget_cycles)
+            self.run.steps.append(result)
+            elapsed = result.cycles / clock_hz
+            if self.trace:
+                self.engine.trace_span(
+                    f"{self.name}.step", "engine.ncore", start, start + elapsed,
+                    args={
+                        "cycles": result.cycles,
+                        "instructions": result.instructions,
+                        "stop_reason": result.stop_reason,
+                    },
+                )
+            # Advance the shared clock by the simulated time consumed and
+            # yield the engine to every other task scheduled before then.
+            yield self.engine.timeout(elapsed)
+            if result.stop_reason in ("breakpoint", "perf_counter"):
+                # Debug stops need an external actor (the runtime) to
+                # resume; a cooperative task must not spin on them.
+                break
+            if result.cycles == 0 and not machine.halted:
+                raise RuntimeError(
+                    f"machine task {self.name!r} made no progress "
+                    f"(stop_reason={result.stop_reason!r})"
+                )
+        self.run.finished_at = self.engine.now
+        return self.run

@@ -13,7 +13,7 @@ golden model" played in Centaur's design methodology (section V-E).
 from repro.ncore.config import NcoreConfig
 from repro.ncore.debug import EventLog, EventRecord, PerfCounter
 from repro.ncore.dma import DmaDescriptor, DmaEngine, LinearMemory
-from repro.ncore.machine import ExecutionError, Ncore
+from repro.ncore.machine import ExecutionError, MachineRunResult, Ncore
 from repro.ncore.pci import NcorePciDevice
 from repro.ncore.sram import EccError, InstructionRam, RowMemory
 
@@ -26,6 +26,7 @@ __all__ = [
     "ExecutionError",
     "InstructionRam",
     "LinearMemory",
+    "MachineRunResult",
     "Ncore",
     "NcoreConfig",
     "NcorePciDevice",

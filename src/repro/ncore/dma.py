@@ -121,6 +121,21 @@ class DmaEngine:
             raise ValueError("DMA window does not fit in system memory")
         self._window_base = dram_base
 
+    def reset_timing(self) -> None:
+        """Clear the timing/statistics state on machine reset.
+
+        The machine's cycle counter restarts from zero on reset; a stale
+        ``busy_until`` from the previous program would otherwise make the
+        first DMA_WAIT of the next program stall against a transfer that
+        belongs to a dead execution — exactly the hazard a long-lived,
+        engine-managed machine that is reset between queries would hit.
+        The driver-configured window mapping is *not* touched: base
+        address registers are kernel state and survive device resets.
+        """
+        self.busy_until = 0
+        self.bytes_moved = 0
+        self.transfers = 0
+
     def _translate(self, window_addr: int, length: int) -> int:
         if self._window_base is None:
             raise RuntimeError(

@@ -65,14 +65,27 @@ from repro.ncore.errors import ExecutionError
 
 
 @dataclass
-class RunResult:
-    """Outcome of one :meth:`Ncore.run` call."""
+class MachineRunResult:
+    """Outcome of one :meth:`Ncore.step` / :meth:`Ncore.run` call.
+
+    All counts are deltas for the call, not machine lifetime totals, so
+    an engine stepping the machine in slices can aggregate them.
+    """
 
     cycles: int
     instructions: int
     issues: int
     halted: bool
     stop_reason: str
+    macs: int = 0
+    dma_stall_cycles: int = 0
+
+
+#: Deprecated alias for :class:`MachineRunResult`.  The runtime's
+#: :class:`repro.runtime.delegate.RunResult` (inference outputs + timing)
+#: is an unrelated class that used to share this name; import the
+#: machine-level result as ``MachineRunResult``.
+RunResult = MachineRunResult
 
 
 @dataclass
@@ -140,6 +153,9 @@ class Ncore:
         self._next_step_break: int | None = None
         self._resume_repeat: tuple[int, int] | None = None
         self._pending_break: str | None = None
+        # The cycle counter restarted, so in-flight DMA timing is stale.
+        self.dma_read.reset_timing()
+        self.dma_write.reset_timing()
 
     def set_zero_offsets(self, data: int, weight: int) -> None:
         """Configure the u8 -> s9 zero offsets (section IV-D.4)."""
@@ -512,8 +528,17 @@ class Ncore:
                 description=f"Ncore hardware performance counter {name!r}",
             )
 
-    def run(self, max_cycles: int = 100_000_000) -> RunResult:
-        """Execute from the current pc until halt, breakpoint or budget."""
+    def step(self, budget_cycles: int = 100_000_000) -> MachineRunResult:
+        """Execute from the current pc for at most ``budget_cycles``.
+
+        The resumable core of the sequencer: all state (pc, loop stack,
+        mid-repeat position, debug breakpoints) lives on the machine, so
+        calling ``step`` again continues exactly where the previous call
+        stopped — whether it stopped on the cycle budget, a breakpoint,
+        an n-step window or a halt.  This is what lets a discrete-event
+        engine interleave many Ncore instances under one clock: each
+        gets a slice of cycles per turn instead of a blocking loop.
+        """
         start_cycles = self.total_cycles
         start_instructions = self.total_instructions
         start_issues = self.total_issues
@@ -526,7 +551,7 @@ class Ncore:
         stop_reason = "halt"
         try:
             while not self.halted:
-                if self.total_cycles - start_cycles >= max_cycles:
+                if self.total_cycles - start_cycles >= budget_cycles:
                     stop_reason = "cycle_budget"
                     break
                 instruction = self.iram.fetch(self.pc)
@@ -534,7 +559,7 @@ class Ncore:
                 completed = self._execute_instruction(instruction)
                 if not completed:
                     # Paused mid-repeat: the pc stays put; the remaining
-                    # iterations resume on the next run() call.
+                    # iterations resume on the next step() call.
                     stop_reason = self._pending_break or "n_step"
                     break
                 self.total_instructions += 1
@@ -550,13 +575,20 @@ class Ncore:
                     break
         finally:
             self.running = False
-        result = RunResult(
+        return MachineRunResult(
             cycles=self.total_cycles - start_cycles,
             instructions=self.total_instructions - start_instructions,
             issues=self.total_issues - start_issues,
             halted=self.halted,
             stop_reason=stop_reason if self.halted is False else "halt",
+            macs=self.total_macs - start_macs,
+            dma_stall_cycles=self.dma_stall_cycles - start_dma_stall,
         )
+
+    def run(self, max_cycles: int = 100_000_000) -> MachineRunResult:
+        """Execute until halt, breakpoint or budget: one traced step."""
+        start_cycles = self.total_cycles
+        result = self.step(max_cycles)
         tracer = get_tracer()
         if tracer.enabled:
             tracer.add_cycle_span(
@@ -565,8 +597,8 @@ class Ncore:
                     "instructions": result.instructions,
                     "issues": result.issues,
                     "stop_reason": result.stop_reason,
-                    "macs": self.total_macs - start_macs,
-                    "dma_stall_cycles": self.dma_stall_cycles - start_dma_stall,
+                    "macs": result.macs,
+                    "dma_stall_cycles": result.dma_stall_cycles,
                 },
             )
         metrics = get_metrics()
@@ -574,14 +606,16 @@ class Ncore:
             metrics.counter("ncore.cycles", unit="cycles").inc(result.cycles)
             metrics.counter("ncore.instructions").inc(result.instructions)
             metrics.counter("ncore.issues").inc(result.issues)
-            metrics.counter("ncore.macs").inc(self.total_macs - start_macs)
+            metrics.counter("ncore.macs").inc(result.macs)
             metrics.counter("ncore.dma_stall_cycles", unit="cycles").inc(
-                self.dma_stall_cycles - start_dma_stall
+                result.dma_stall_cycles
             )
             metrics.counter("ncore.runs").inc()
         return result
 
-    def execute_program(self, program: list[Instruction], max_cycles: int = 100_000_000) -> RunResult:
+    def execute_program(
+        self, program: list[Instruction], max_cycles: int = 100_000_000
+    ) -> MachineRunResult:
         """Convenience: load a program, run it to completion."""
         self.load_program(program)
         return self.run(max_cycles=max_cycles)

@@ -573,7 +573,7 @@ def run_streamed(machine: Ncore, program: list[Instruction], max_cycles: int = 1
     exactly the loading flow section IV-C.1 describes ("instruction RAM
     loading [does] not hinder Ncore's latency or throughput").  The
     machine's architectural state carries across swaps.  Returns the last
-    chunk's RunResult.
+    chunk's MachineRunResult.
     """
     from repro.isa.instruction import SeqOp, SeqOpcode
 

@@ -7,10 +7,18 @@
 - :mod:`repro.perf.system`     -- the full-system latency/throughput model.
 - :mod:`repro.perf.scaling`    -- throughput vs x86 core count (Figs 13/14).
 - :mod:`repro.perf.mlperf`     -- SingleStream / Offline scenario harness.
+- :mod:`repro.perf.serving`    -- engine-driven Server scenario (Poisson
+  arrivals, dynamic batching, multisocket sharding).
 """
 
 from repro.perf.mlperf import OfflineResult, SingleStreamResult, run_offline, run_single_stream
 from repro.perf.report import generate_report
+from repro.perf.serving import (
+    ServerResult,
+    ServingTimingModel,
+    default_server_qps,
+    run_server,
+)
 from repro.perf.published import (
     PUBLISHED_LATENCY_MS,
     PUBLISHED_THROUGHPUT_IPS,
@@ -26,11 +34,15 @@ __all__ = [
     "PUBLISHED_LATENCY_MS",
     "PUBLISHED_THROUGHPUT_IPS",
     "SUBMITTER_TYPES",
+    "ServerResult",
+    "ServingTimingModel",
     "SingleStreamResult",
+    "default_server_qps",
     "expected_throughput",
     "generate_report",
     "observed_throughput",
     "run_offline",
+    "run_server",
     "run_single_stream",
     "x86_portion_seconds",
 ]

@@ -5,14 +5,24 @@ which issues one query at a time and reports the 90th-percentile latency,
 and Offline, which issues everything at once and reports throughput.
 Query-to-query jitter (scheduler noise, DRAM refresh) is modelled as a
 small seeded log-normal factor so percentile statistics are meaningful.
+
+Both scenarios are *degenerate schedules* on the discrete-event engine
+(:mod:`repro.engine`): SingleStream is a closed loop with one outstanding
+query, Offline is a pipeline of back-to-back batches.  The Server scenario
+(:mod:`repro.perf.serving`) uses the same engine with Poisson arrivals and
+dynamic batching — one execution path for all three.  The service times
+come from the same calibrated :class:`~repro.perf.system.BenchmarkSystem`
+model as before the engine existed, so the reported numbers are unchanged.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterator
 
 import numpy as np
 
+from repro.engine import Engine
 from repro.obs.metrics import get_metrics
 from repro.obs.tracer import get_tracer
 from repro.perf.system import BenchmarkSystem
@@ -44,7 +54,12 @@ class OfflineResult:
 def run_single_stream(
     system: BenchmarkSystem, queries: int = 1024, seed: int = 0
 ) -> SingleStreamResult:
-    """SingleStream scenario: sequential queries, p90 latency."""
+    """SingleStream scenario: sequential queries, p90 latency.
+
+    The engine runs the closed loop — the next query is issued when the
+    previous one completes, so each query's latency equals its service
+    time and the scenario reduces to the analytic model exactly.
+    """
     if queries < 1:
         raise ValueError("at least one query required")
     tracer = get_tracer()
@@ -55,6 +70,17 @@ def run_single_stream(
         base = system.single_stream_latency_seconds()
         rng = np.random.default_rng(seed)
         samples = base * rng.lognormal(mean=0.0, sigma=JITTER_SIGMA, size=queries)
+        engine = Engine()
+        starts = np.zeros(queries, dtype=np.float64)
+
+        def closed_loop() -> Iterator:
+            for index in range(queries):
+                starts[index] = engine.now
+                yield engine.timeout(float(samples[index]))
+            return None
+
+        engine.process(closed_loop(), name="single-stream")
+        engine.run()
         result = SingleStreamResult(
             model_key=system.model_key,
             queries=queries,
@@ -63,17 +89,15 @@ def run_single_stream(
         )
         span.set(p90_latency_ms=result.p90_latency_ms)
     if tracer.enabled:
-        # Per-query spans on the modelled timeline (queries are issued
+        # Per-query spans on the engine timeline (queries are issued
         # back-to-back in SingleStream).
-        cursor_us = 0.0
         for index, latency in enumerate(samples):
-            duration_us = float(latency) * 1e6
             tracer.add_span(
                 f"query[{index}]", "mlperf.queries",
-                start_us=cursor_us, duration_us=duration_us,
+                start_us=float(starts[index]) * 1e6,
+                duration_us=float(latency) * 1e6,
                 args={"latency_ms": float(latency) * 1e3},
             )
-            cursor_us += duration_us
     metrics = get_metrics()
     if metrics.enabled:
         metrics.counter("mlperf.queries").inc(queries)
@@ -91,9 +115,17 @@ def run_offline(
     seed: int = 0,
 ) -> OfflineResult:
     """Offline scenario: all queries at once, batched (batch 64 for GNMT,
-    as in the paper, to raise arithmetic intensity)."""
+    as in the paper, to raise arithmetic intensity).
+
+    The engine pipelines the batches back-to-back; a trailing partial
+    batch (``queries % batch_size != 0``, or ``batch_size > queries``)
+    still runs and still counts — throughput is queries over the engine
+    makespan.
+    """
     if queries < 1:
         raise ValueError("at least one query required")
+    if batch_size < 1:
+        raise ValueError("batch size must be positive")
     with get_tracer().span(
         "mlperf.offline", track="mlperf",
         model=system.model_key, queries=queries, batch_size=batch_size, cores=cores,
@@ -101,11 +133,35 @@ def run_offline(
         base = system.offline_throughput_ips(cores=cores)
         rng = np.random.default_rng(seed)
         # Throughput noise shrinks with the query count (averaging).
-        noisy = base * rng.lognormal(mean=0.0, sigma=JITTER_SIGMA / np.sqrt(queries))
+        noise = rng.lognormal(mean=0.0, sigma=JITTER_SIGMA / np.sqrt(queries))
+        sizes = [batch_size] * (queries // batch_size)
+        if queries % batch_size:
+            sizes.append(queries % batch_size)
+        engine = Engine()
+        completed = 0
+
+        def batch_pipeline() -> Iterator:
+            nonlocal completed
+            for sequence, size in enumerate(sizes):
+                started = engine.now
+                yield engine.timeout(size / base)
+                completed += size
+                engine.trace_span(
+                    f"batch[{sequence}]", "mlperf.offline.batches",
+                    started, engine.now, args={"size": size},
+                )
+            return None
+
+        engine.process(batch_pipeline(), name="offline")
+        engine.run()
+        if completed != queries:
+            raise RuntimeError(
+                f"offline schedule completed {completed} of {queries} queries"
+            )
         result = OfflineResult(
             model_key=system.model_key,
             queries=queries,
-            throughput_ips=float(noisy),
+            throughput_ips=float(queries / engine.now * noise),
             batch_size=batch_size,
         )
         span.set(throughput_ips=result.throughput_ips)

@@ -97,6 +97,29 @@ def generate_report() -> str:
         thr_rows,
     ))
 
+    # Server scenario (engine-simulated; post-dates the paper's v0.5
+    # submission, which covered SingleStream/Offline only).
+    from repro.perf.serving import run_server
+
+    rows = []
+    for key in MODELS:
+        for sockets in (1, 2):
+            result = run_server(systems[key], queries=512, seed=0, sockets=sockets)
+            rows.append([
+                PAPER_CHARACTERISTICS[key].display if sockets == 1 else "",
+                sockets,
+                f"{result.offered_qps:,.1f}",
+                f"{result.sustained_qps:,.1f}",
+                f"{result.p50_latency_ms:.2f}",
+                f"{result.p99_latency_ms:.2f}",
+                f"{result.mean_batch_size:.2f}",
+            ])
+    sections.append(_table(
+        "MLPerf Server scenario (engine-simulated, Poisson arrivals, seed 0)",
+        ["Model", "Sockets", "Offered QPS", "Sustained", "p50 ms", "p99 ms", "Batch"],
+        rows,
+    ))
+
     # Table IX.
     rows = []
     for key in CNNS:

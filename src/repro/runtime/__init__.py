@@ -8,6 +8,12 @@ that owns the protected settings (DMA windows, power).
 
 from repro.runtime.delegate import InferenceSession, compile_model
 from repro.runtime.driver import DriverError, NcoreKernelDriver
+from repro.runtime.executor import (
+    EngineExecutor,
+    NcoreExecutor,
+    QueryTicket,
+    SessionHandle,
+)
 from repro.runtime.luts import build_activation_lut, sigmoid_lut, tanh_lut
 from repro.runtime.profiler import EventLogOverflowError, Profiler, Trace
 from repro.runtime.qkernels import execute_quantized
@@ -15,10 +21,14 @@ from repro.runtime.selftest import SelfTestReport, power_on_self_test
 
 __all__ = [
     "DriverError",
+    "EngineExecutor",
     "EventLogOverflowError",
     "InferenceSession",
+    "NcoreExecutor",
     "NcoreKernelDriver",
     "Profiler",
+    "QueryTicket",
+    "SessionHandle",
     "SelfTestReport",
     "Trace",
     "build_activation_lut",

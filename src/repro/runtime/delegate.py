@@ -25,7 +25,6 @@ from repro.ncore.config import NcoreConfig
 from repro.nkl.lower import lower_segment
 from repro.obs.metrics import get_metrics
 from repro.obs.tracer import get_tracer
-from repro.runtime.driver import NcoreKernelDriver
 from repro.runtime.qkernels import execute_quantized
 from repro.soc.cha import ChaSoc
 
@@ -115,51 +114,63 @@ class RunResult:
 
 
 class InferenceSession:
-    """Owns the device (through the kernel driver) and runs inferences."""
+    """The synchronous single-query facade over an executor-owned device.
+
+    Historically this class owned the device and ran exactly one query at
+    a time; the device-owning half now lives in
+    :class:`repro.runtime.executor.NcoreExecutor` (which the engine-based
+    serving path shares), and the session keeps its public surface —
+    ``run`` / ``close`` plus the driver/mapping attributes — as a thin
+    wrapper for tools and tests that want one blocking inference.
+    """
 
     def __init__(
         self,
         model: CompiledModel,
         soc: ChaSoc | None = None,
         owner: str = "inference-session",
+        verify: bool = False,
     ) -> None:
-        self.model = model
-        self.soc = soc or ChaSoc()
-        self.driver = NcoreKernelDriver(self.soc)
-        self.driver.probe()
-        self.mapping = self.driver.open(owner)
-        self._clock = self.soc.ncore.config.clock_hz
-        self._dma_bpc = self.soc.ncore_to_dram_bandwidth() / self._clock
+        from repro.runtime.executor import NcoreExecutor
+
+        self.executor = NcoreExecutor(model, soc=soc, owner=owner, verify=verify)
+
+    @property
+    def model(self) -> CompiledModel:
+        return self.executor.model
+
+    @property
+    def soc(self) -> ChaSoc:
+        return self.executor.soc
+
+    @property
+    def driver(self):
+        return self.executor.driver
+
+    @property
+    def mapping(self):
+        return self.executor.mapping
+
+    @property
+    def _clock(self) -> float:
+        return self.executor._clock
+
+    @property
+    def _dma_bpc(self) -> float:
+        return self.executor._dma_bpc
 
     def close(self) -> None:
-        self.driver.close(self.mapping)
+        self.executor.close()
 
     # ------------------------------------------------------------------
 
     def ncore_seconds(self) -> float:
         """Ncore portion of one inference, from the NKL schedules."""
-        return self.model.ncore_cycles(self._dma_bpc) / self._clock
+        return self.executor.ncore_seconds()
 
     def x86_graph_seconds(self) -> float:
         """x86 portion attributable to non-delegated graph segments."""
-        core = self.soc.cores[0]
-        metrics = get_metrics()
-        total = 0.0
-        for index in self.model.x86_segments:
-            segment = self.model.segments[index]
-            total += DELEGATE_TRANSITION_SECONDS
-            if metrics.enabled:
-                metrics.counter("delegate.transitions").inc()
-            for node in segment.nodes:
-                seconds = core.task_seconds(**_x86_node_cost(self.model.graph, node))
-                total += seconds
-                if metrics.enabled:
-                    # Table IX attribution: where the x86 fallback time goes.
-                    metrics.counter(
-                        f"x86.fallback.{node.op}.cycles", unit="cycles"
-                    ).inc(seconds * core.clock_hz)
-                    metrics.counter("x86.fallback.seconds", unit="s").inc(seconds)
-        return total
+        return self.executor.x86_graph_seconds()
 
     def trace_schedule(self, tracer=None) -> None:
         """Emit the modelled execution timeline as simulated-time spans.

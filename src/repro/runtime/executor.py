@@ -1,0 +1,358 @@
+"""Engine-owned execution: device executor, async sessions, batching.
+
+The original runtime bound everything to one synchronous object — an
+``InferenceSession`` owned the device *and* ran exactly one query at a
+time.  This module splits that into the pieces a serving system needs:
+
+- :class:`NcoreExecutor` owns the device (driver probe/open, the memory
+  mapping, the timing model) and executes one batch at a time.  It
+  refuses to load a model whose Loadables fail the ``repro.analyze``
+  static verifiers unless constructed with ``verify=False`` — the same
+  gate the compiler applies, re-checked at load time because a Loadable
+  can reach the runtime without passing through ``compile_model``.
+- :class:`EngineExecutor` mounts an executor on a discrete-event engine:
+  a dynamic-batching queue (max batch / max wait) feeds the Ncore
+  executor while modelled x86 workers handle per-query pre/post work.
+- :class:`SessionHandle` is the lightweight client object: ``submit()``
+  enqueues a query and returns a ticket, ``poll()`` reports completion.
+  Many handles can share one executor — the multi-query serving shape
+  the blocking session could not express.
+
+Simulated time throughout: latencies come from the engine clock, never
+the wall clock, so every schedule is deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engine import BatchQueue, Engine, WorkerPool
+from repro.engine.core import Event
+from repro.engine.resources import Resource
+from repro.graph.loadable import CompiledModel
+from repro.obs.metrics import get_metrics
+from repro.obs.tracer import get_tracer
+from repro.runtime.driver import NcoreKernelDriver
+from repro.runtime.qkernels import execute_quantized
+from repro.soc.cha import ChaSoc
+
+
+class NcoreExecutor:
+    """Owns one socket's Ncore through the kernel driver; runs batches.
+
+    The load-time verification gate: unless ``verify=False``, the model's
+    graph and every lowered Loadable are re-checked with the
+    ``repro.analyze`` stack and an error-severity finding raises
+    :class:`~repro.analyze.AnalysisError` before the device is opened.
+    """
+
+    def __init__(
+        self,
+        model: CompiledModel,
+        soc: ChaSoc | None = None,
+        owner: str = "ncore-executor",
+        verify: bool = True,
+    ) -> None:
+        if verify:
+            from repro.analyze import analyze_model, enforce
+
+            with get_tracer().span("executor.verify", track="delegate", model=model.name):
+                enforce(analyze_model(model), context=model.name)
+        self.model = model
+        self.soc = soc or ChaSoc()
+        self.driver = NcoreKernelDriver(self.soc)
+        self.driver.probe()
+        self.mapping = self.driver.open(owner)
+        self._clock = self.soc.ncore.config.clock_hz
+        self._dma_bpc = self.soc.ncore_to_dram_bandwidth() / self._clock
+
+    def close(self) -> None:
+        self.driver.close(self.mapping)
+
+    # ------------------------------------------------------------------
+    # Timing model (the NKL cycle schedules + the core cost model)
+    # ------------------------------------------------------------------
+
+    def ncore_seconds(self) -> float:
+        """Ncore portion of one single-batch inference."""
+        return self.model.ncore_cycles(self._dma_bpc) / self._clock
+
+    def ncore_seconds_batched(self, batch: int) -> float:
+        """Per-item Ncore time with a batch amortizing streamed weights.
+
+        Pinned weights never stream so batching changes nothing for them;
+        streamed weights are fetched once per batch while compute scales
+        with the batch (the section VI-A arithmetic-intensity argument).
+        """
+        if batch < 1:
+            raise ValueError("batch must be at least 1")
+        compute_cycles = 0
+        streamed_bytes = 0
+        for index in self.model.ncore_segments:
+            loadable = self.model.loadables[index]
+            compute_cycles += loadable.compute_cycles
+            if not loadable.memory_plan.weights_pinned:
+                streamed_bytes += loadable.weight_image_bytes
+        dma_cycles = streamed_bytes / self._dma_bpc
+        total = max(compute_cycles * batch, dma_cycles) + min(compute_cycles, dma_cycles)
+        return total / batch / self._clock
+
+    def x86_graph_seconds(self) -> float:
+        """x86 portion attributable to non-delegated graph segments."""
+        from repro.runtime.delegate import DELEGATE_TRANSITION_SECONDS, _x86_node_cost
+
+        core = self.soc.cores[0]
+        metrics = get_metrics()
+        total = 0.0
+        for index in self.model.x86_segments:
+            segment = self.model.segments[index]
+            total += DELEGATE_TRANSITION_SECONDS
+            if metrics.enabled:
+                metrics.counter("delegate.transitions").inc()
+            for node in segment.nodes:
+                seconds = core.task_seconds(**_x86_node_cost(self.model.graph, node))
+                total += seconds
+                if metrics.enabled:
+                    # Table IX attribution: where the x86 fallback time goes.
+                    metrics.counter(
+                        f"x86.fallback.{node.op}.cycles", unit="cycles"
+                    ).inc(seconds * core.clock_hz)
+                    metrics.counter("x86.fallback.seconds", unit="s").inc(seconds)
+        return total
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def execute(self, feeds: dict[str, np.ndarray]):
+        """Run one query: functional outputs plus the timing split."""
+        from repro.runtime.delegate import RunResult, RunTiming
+
+        outputs = execute_quantized(self.model.graph, feeds)
+        timing = RunTiming(
+            ncore_seconds=self.ncore_seconds(),
+            x86_seconds=self.x86_graph_seconds(),
+        )
+        return RunResult(outputs=outputs, timing=timing)
+
+    def execute_batch(self, batch_feeds: list[dict[str, np.ndarray]]):
+        """Run a batch: per-query outputs, batched Ncore amortization."""
+        from repro.runtime.delegate import RunResult, RunTiming
+
+        size = len(batch_feeds)
+        per_item_ncore = self.ncore_seconds_batched(size)
+        x86 = self.x86_graph_seconds()
+        results = []
+        for feeds in batch_feeds:
+            outputs = execute_quantized(self.model.graph, feeds)
+            results.append(RunResult(
+                outputs=outputs,
+                timing=RunTiming(ncore_seconds=per_item_ncore, x86_seconds=x86),
+            ))
+        return results
+
+
+@dataclass
+class QueryTicket:
+    """One submitted query's lifecycle, stamped in engine time."""
+
+    index: int
+    owner: str
+    submitted_at: float
+    feeds: dict[str, np.ndarray] = field(repr=False, default_factory=dict)
+    enqueued_at: float | None = None     # entered the batch queue
+    batch_started_at: float | None = None
+    ncore_done_at: float | None = None
+    completed_at: float | None = None
+    batch_size: int = 0
+    result: object | None = None         # delegate.RunResult once done
+    done_event: Event | None = field(repr=False, default=None)
+
+    @property
+    def done(self) -> bool:
+        return self.completed_at is not None
+
+    @property
+    def latency_seconds(self) -> float | None:
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.submitted_at
+
+    @property
+    def queue_wait_seconds(self) -> float | None:
+        if self.batch_started_at is None or self.enqueued_at is None:
+            return None
+        return self.batch_started_at - self.enqueued_at
+
+
+class SessionHandle:
+    """A lightweight client of one :class:`EngineExecutor`.
+
+    Replaces the device-owning ``InferenceSession`` for concurrent use:
+    holding a handle grants nothing exclusive — submission order across
+    all handles decides batching.
+    """
+
+    def __init__(self, executor: "EngineExecutor", owner: str) -> None:
+        self.executor = executor
+        self.owner = owner
+        self.tickets: list[QueryTicket] = []
+
+    def submit(self, feeds: dict[str, np.ndarray]) -> QueryTicket:
+        ticket = self.executor.submit(feeds, owner=self.owner)
+        self.tickets.append(ticket)
+        return ticket
+
+    def poll(self, ticket: QueryTicket):
+        """The query's result, or None while it is still in flight."""
+        return ticket.result if ticket.done else None
+
+
+class EngineExecutor:
+    """An :class:`NcoreExecutor` mounted on a discrete-event engine.
+
+    Queries flow submit -> x86 pre work (worker pool) -> dynamic batch
+    queue -> Ncore executor (one batch in flight) -> x86 post work
+    (worker pool) -> completion.  Every stage is stamped on the ticket
+    and emitted as tracer spans, so a Perfetto trace decomposes latency
+    into queue wait vs batch assembly vs Ncore vs x86 time.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        executor: NcoreExecutor,
+        max_batch: int = 8,
+        max_wait: float = 200e-6,
+        workers: int = 7,
+        pre_seconds: float | None = None,
+    ) -> None:
+        from repro.runtime.delegate import DELEGATE_TRANSITION_SECONDS
+
+        self.engine = engine
+        self.executor = executor
+        self.queue = BatchQueue(engine, max_batch=max_batch, max_wait=max_wait,
+                                name=f"{executor.model.name}.batch-queue")
+        self.pool = WorkerPool(engine, workers=workers)
+        self.ncore = Resource(engine, capacity=1, name="ncore-executor")
+        # Submit-side framework/buffer-handoff cost, on a worker.
+        self.pre_seconds = (
+            DELEGATE_TRANSITION_SECONDS if pre_seconds is None else pre_seconds
+        )
+        self.tickets: list[QueryTicket] = []
+        self._dispatcher = engine.process(self._dispatch_loop(), name="ncore-dispatch")
+
+    def session(self, owner: str = "session") -> SessionHandle:
+        return SessionHandle(self, owner)
+
+    # ------------------------------------------------------------------
+    # Submission path
+    # ------------------------------------------------------------------
+
+    def submit(self, feeds: dict[str, np.ndarray], owner: str = "anonymous") -> QueryTicket:
+        ticket = QueryTicket(
+            index=len(self.tickets), owner=owner,
+            submitted_at=self.engine.now, feeds=feeds,
+            done_event=self.engine.event(),
+        )
+        self.tickets.append(ticket)
+        self.engine.process(self._query_body(ticket), name=f"query[{ticket.index}]")
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter("engine.queries_submitted").inc()
+        return ticket
+
+    def poll(self, ticket: QueryTicket):
+        return ticket.result if ticket.done else None
+
+    def _query_body(self, ticket: QueryTicket):
+        # x86 pre work on the worker pool (framework callback, handoff).
+        if self.pre_seconds > 0:
+            yield self.pool.submit(self.pre_seconds)
+        ticket.enqueued_at = self.engine.now
+        self.queue.put(ticket)
+        yield ticket.done_event
+        return ticket.result
+
+    # ------------------------------------------------------------------
+    # Dispatch path (one batch in flight on the Ncore executor)
+    # ------------------------------------------------------------------
+
+    def _dispatch_loop(self):
+        engine = self.engine
+        while True:
+            batch = yield self.queue.get()
+            tickets: list[QueryTicket] = batch.items
+            yield self.ncore.request()
+            started = engine.now
+            for ticket in tickets:
+                ticket.batch_started_at = started
+                ticket.batch_size = batch.size
+            # Functional execution is eager; timing advances the clock.
+            results = self.executor.execute_batch([t.feeds for t in tickets])
+            ncore_seconds = (
+                self.executor.ncore_seconds_batched(batch.size) * batch.size
+            )
+            yield engine.timeout(ncore_seconds)
+            self.ncore.release()
+            ncore_done = engine.now
+            engine.trace_span(
+                f"batch[{batch.sequence}]", "engine.ncore", started, ncore_done,
+                args={"size": batch.size, "reason": batch.reason,
+                      "assembly_us": batch.assembly_seconds * 1e6},
+            )
+            for ticket, result in zip(tickets, results):
+                ticket.ncore_done_at = ncore_done
+                engine.process(
+                    self._postprocess(ticket, result),
+                    name=f"post[{ticket.index}]",
+                )
+
+    def _postprocess(self, ticket: QueryTicket, result):
+        # Per-query x86 post work (non-delegated segments) on the pool.
+        x86_seconds = result.timing.x86_seconds
+        if x86_seconds > 0:
+            yield self.pool.submit(x86_seconds)
+        ticket.completed_at = self.engine.now
+        ticket.result = result
+        self._trace_ticket(ticket)
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter("engine.queries_completed").inc()
+            metrics.histogram("engine.latency_seconds", unit="s").observe(
+                ticket.latency_seconds
+            )
+        ticket.done_event.succeed(result)
+
+    def _trace_ticket(self, ticket: QueryTicket) -> None:
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return
+        spans = [
+            ("pre", ticket.submitted_at, ticket.enqueued_at),
+            ("queue.wait", ticket.enqueued_at, ticket.batch_started_at),
+            ("ncore", ticket.batch_started_at, ticket.ncore_done_at),
+            ("x86.post", ticket.ncore_done_at, ticket.completed_at),
+        ]
+        for stage, start, end in spans:
+            if start is None or end is None:
+                continue
+            self.engine.trace_span(
+                f"query[{ticket.index}].{stage}", "engine.queries", start, end,
+                args={"owner": ticket.owner, "batch_size": ticket.batch_size},
+            )
+
+    # ------------------------------------------------------------------
+
+    def drain(self, max_events: int = 50_000_000) -> None:
+        """Flush the open batch and run the engine until all queries finish."""
+        self.queue.flush()
+        self.engine.run(max_events=max_events)
+        while any(not t.done for t in self.tickets):
+            self.queue.flush()
+            self.engine.run(max_events=max_events)
+
+    def close(self) -> None:
+        self.executor.close()

@@ -44,3 +44,16 @@ class MultiSocketSystem:
 
     def total_x86_cores(self) -> int:
         return 8 * self.sockets
+
+    def run_server(self, system, **kwargs):
+        """Server scenario sharded across this system's sockets.
+
+        One dynamic-batching queue feeds ``sockets`` engine-managed Ncore
+        executors; the cross-socket efficiency degrades each socket's
+        service rate so the sustained QPS lands on ``scaling_factor()``
+        times the single-socket number (modulo queueing effects).
+        """
+        from repro.perf.serving import run_server
+
+        kwargs.setdefault("socket_efficiency", CROSS_SOCKET_EFFICIENCY)
+        return run_server(system, sockets=self.sockets, **kwargs)

@@ -1,0 +1,171 @@
+"""The dynamic-batching queue: seal-by-size, deadline, greedy, flush."""
+
+import pytest
+
+from repro.engine import BatchQueue, Engine
+
+
+def drain_one(engine, queue, batches):
+    """A consumer task that takes exactly one batch."""
+    def body():
+        batches.append((yield queue.get()))
+
+    return engine.process(body())
+
+
+class TestSealBySize:
+    def test_batch_seals_when_max_batch_reached(self):
+        engine = Engine()
+        queue = BatchQueue(engine, max_batch=3, max_wait=1.0)
+        batches = []
+        drain_one(engine, queue, batches)
+        for item in "abc":
+            queue.put(item)
+        engine.run()
+        (batch,) = batches
+        assert batch.items == ["a", "b", "c"]
+        assert batch.reason == "size"
+        assert batch.assembly_seconds == 0.0
+
+    def test_size_seal_cancels_the_deadline(self):
+        engine = Engine()
+        queue = BatchQueue(engine, max_batch=2, max_wait=1.0)
+        batches = []
+        drain_one(engine, queue, batches)
+        queue.put("a")
+        queue.put("b")   # seals by size at t=0; deadline timer now stale
+        engine.run()
+        assert len(batches) == 1
+        assert batches[0].reason == "size"
+        assert queue.stats.by_reason == {"size": 1}
+
+
+class TestDeadline:
+    def test_partial_batch_seals_at_the_deadline(self):
+        engine = Engine()
+        queue = BatchQueue(engine, max_batch=8, max_wait=0.5)
+        batches = []
+        drain_one(engine, queue, batches)
+        engine.call_after(0.1, queue.put, "a")
+        engine.call_after(0.2, queue.put, "b")
+        engine.run()
+        (batch,) = batches
+        assert batch.items == ["a", "b"]
+        assert batch.reason == "deadline"
+        assert batch.opened_at == pytest.approx(0.1)
+        assert batch.closed_at == pytest.approx(0.6)  # first item + max_wait
+        assert batch.assembly_seconds == pytest.approx(0.5)
+
+    def test_deadline_restarts_per_batch(self):
+        engine = Engine()
+        queue = BatchQueue(engine, max_batch=8, max_wait=0.5)
+        batches = []
+        drain_one(engine, queue, batches)
+        drain_one(engine, queue, batches)
+        engine.call_after(0.0, queue.put, "a")
+        engine.call_after(2.0, queue.put, "b")
+        engine.run()
+        assert [b.items for b in batches] == [["a"], ["b"]]
+        assert [b.closed_at for b in batches] == pytest.approx([0.5, 2.5])
+
+
+class TestGreedy:
+    def test_idle_consumer_takes_whatever_arrives(self):
+        engine = Engine()
+        queue = BatchQueue(engine, max_batch=8, max_wait=0.0)
+        batches = []
+        drain_one(engine, queue, batches)
+        engine.call_after(1.0, queue.put, "a")
+        engine.run()
+        (batch,) = batches
+        assert batch.items == ["a"]
+        assert batch.reason == "greedy"
+
+    def test_waiting_items_handed_over_when_consumer_arrives(self):
+        engine = Engine()
+        queue = BatchQueue(engine, max_batch=8, max_wait=0.0)
+        queue.put("a")
+        queue.put("b")
+        batches = []
+        drain_one(engine, queue, batches)
+        engine.run()
+        (batch,) = batches
+        assert batch.items == ["a", "b"]
+        assert batch.reason == "greedy"
+
+
+class TestFlushAndBuffering:
+    def test_flush_seals_the_open_remainder(self):
+        engine = Engine()
+        queue = BatchQueue(engine, max_batch=4, max_wait=10.0)
+        batches = []
+        drain_one(engine, queue, batches)
+        queue.put("tail")
+        queue.flush()
+        engine.run()
+        (batch,) = batches
+        assert batch.items == ["tail"]
+        assert batch.reason == "flush"
+
+    def test_flush_of_an_empty_queue_is_a_noop(self):
+        engine = Engine()
+        queue = BatchQueue(engine, max_batch=4)
+        queue.flush()
+        assert queue.stats.batches == 0
+
+    def test_sealed_batches_buffer_for_late_consumers(self):
+        engine = Engine()
+        queue = BatchQueue(engine, max_batch=2, max_wait=1.0)
+        for item in "abcd":
+            queue.put(item)   # two sealed batches, nobody waiting
+        assert queue.depth == 4
+        batches = []
+        drain_one(engine, queue, batches)
+        drain_one(engine, queue, batches)
+        engine.run()
+        assert [b.items for b in batches] == [["a", "b"], ["c", "d"]]
+        assert [b.sequence for b in batches] == [0, 1]
+        assert queue.depth == 0
+
+    def test_multiple_consumers_share_one_queue(self):
+        # The multisocket sharding shape: N executors, one queue.
+        engine = Engine()
+        queue = BatchQueue(engine, max_batch=1)
+        served = []
+
+        def executor(tag):
+            while True:
+                batch = yield queue.get()
+                yield engine.timeout(1.0)
+                served.append((engine.now, tag, batch.items[0]))
+
+        engine.process(executor("s0"))
+        engine.process(executor("s1"))
+        for index in range(4):
+            engine.call_after(0.0, queue.put, index)
+        engine.run()
+        # Two sockets drain four unit batches in two rounds.
+        assert [(t, item) for t, _, item in served] == [
+            (1.0, 0), (1.0, 1), (2.0, 2), (2.0, 3),
+        ]
+
+    def test_stats_track_reasons_and_mean_size(self):
+        engine = Engine()
+        queue = BatchQueue(engine, max_batch=2, max_wait=0.5)
+        batches = []
+        for _ in range(3):
+            drain_one(engine, queue, batches)
+        for item in "abc":
+            queue.put(item)
+        engine.run()
+        assert queue.stats.batches == 2
+        assert queue.stats.items == 3
+        assert queue.stats.mean_batch_size == pytest.approx(1.5)
+        assert queue.stats.by_reason == {"size": 1, "deadline": 1}
+
+    def test_parameter_validation(self):
+        engine = Engine()
+        with pytest.raises(ValueError, match="max_batch"):
+            BatchQueue(engine, max_batch=0)
+        with pytest.raises(ValueError, match="max_wait"):
+            BatchQueue(engine, max_wait=-1.0)

@@ -1,0 +1,86 @@
+"""Engine-driven Ncore machines: resumable stepping under one clock."""
+
+import numpy as np
+import pytest
+
+from repro.engine import Engine, MachineTask
+from repro.isa import assemble
+from repro.ncore import Ncore
+
+PROGRAM = (
+    "setaddr a0, 0\nsetaddr a1, 0\nsetaddr a6, 1\n"
+    "loop 32 {\n  mac.uint8 dram[a0], wtram[a1]\n}\n"
+    "requant.uint8 relu\nstore a6\nhalt"
+)
+
+
+def fresh_machine() -> Ncore:
+    machine = Ncore()
+    machine.write_data_ram(0, bytes(np.full(4096, 2, np.uint8)))
+    machine.write_weight_ram(0, bytes(np.full(4096, 3, np.uint8)))
+    return machine
+
+
+class TestMachineTask:
+    def test_stepped_execution_matches_one_blocking_run(self):
+        blocking = fresh_machine()
+        reference = blocking.execute_program(assemble(PROGRAM))
+        engine = Engine()
+        stepped = fresh_machine()
+        task = MachineTask(engine, stepped, assemble(PROGRAM), budget_cycles=8)
+        engine.run()
+        assert task.run.halted
+        assert task.run.cycles == reference.cycles
+        assert task.run.instructions == reference.instructions
+        assert len(task.run.steps) > 1  # genuinely resumed mid-program
+        assert stepped.read_data_ram(4096, 4096) == blocking.read_data_ram(4096, 4096)
+
+    def test_engine_clock_tracks_machine_cycles(self):
+        engine = Engine()
+        machine = fresh_machine()
+        task = MachineTask(engine, machine, assemble(PROGRAM), budget_cycles=16)
+        engine.run()
+        clock_hz = machine.config.clock_hz
+        assert engine.now == pytest.approx(task.run.cycles / clock_hz)
+        assert task.run.finished_at == pytest.approx(engine.now)
+
+    def test_two_machines_interleave_under_one_clock(self):
+        engine = Engine()
+        first = MachineTask(
+            engine, fresh_machine(), assemble(PROGRAM), budget_cycles=8, name="ncore0"
+        )
+        second = MachineTask(
+            engine, fresh_machine(), assemble(PROGRAM), budget_cycles=8, name="ncore1"
+        )
+        joined = []
+
+        def join():
+            runs = yield engine.all_of([first.task, second.task])
+            joined.append(runs)
+
+        engine.process(join())
+        engine.run()
+        (runs,) = joined
+        assert all(run.halted for run in runs)
+        # Identical machines, identical programs: both finish at the same
+        # simulated instant, which only works if neither monopolised the
+        # engine with a blocking run.
+        assert runs[0].finished_at == pytest.approx(runs[1].finished_at)
+        assert runs[0].cycles == runs[1].cycles
+
+    def test_task_value_is_the_machine_run(self):
+        engine = Engine()
+        task = MachineTask(engine, fresh_machine(), assemble(PROGRAM))
+        got = []
+
+        def waiter():
+            got.append((yield task.task))
+
+        engine.process(waiter())
+        engine.run()
+        assert got == [task.run]
+        assert got[0].stop_reason == "halt"
+
+    def test_budget_must_be_positive(self):
+        with pytest.raises(ValueError):
+            MachineTask(Engine(), fresh_machine(), assemble("halt"), budget_cycles=0)

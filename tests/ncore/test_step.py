@@ -1,0 +1,86 @@
+"""The resumable ``Ncore.step`` API: budgets, state carry-over, the alias."""
+
+import numpy as np
+import pytest
+
+from repro.isa import assemble
+from repro.ncore import MachineRunResult, Ncore
+from repro.ncore.machine import RunResult
+
+PROGRAM = (
+    "setaddr a0, 0\nsetaddr a1, 0\nsetaddr a6, 1\n"
+    "loop 48 {\n  mac.uint8 dram[a0], wtram[a1]\n}\n"
+    "requant.uint8 relu\nstore a6\nhalt"
+)
+
+
+def fresh_machine() -> Ncore:
+    machine = Ncore()
+    machine.write_data_ram(0, bytes(np.full(4096, 2, np.uint8)))
+    machine.write_weight_ram(0, bytes(np.full(4096, 3, np.uint8)))
+    return machine
+
+
+def run_stepped(machine: Ncore, budget: int) -> list[MachineRunResult]:
+    machine.load_program(assemble(PROGRAM))
+    steps = []
+    while not machine.halted:
+        result = machine.step(budget)
+        steps.append(result)
+        if result.cycles == 0 and not machine.halted:
+            raise AssertionError("step made no progress")
+    return steps
+
+
+class TestStep:
+    def test_budget_exhaustion_reports_cycle_budget(self):
+        machine = fresh_machine()
+        machine.load_program(assemble(PROGRAM))
+        result = machine.step(4)
+        assert not result.halted
+        assert result.stop_reason == "cycle_budget"
+        assert result.cycles >= 4
+
+    def test_final_step_reports_halt(self):
+        steps = run_stepped(fresh_machine(), budget=16)
+        assert len(steps) > 1
+        assert all(s.stop_reason == "cycle_budget" for s in steps[:-1])
+        assert steps[-1].halted
+        assert steps[-1].stop_reason == "halt"
+
+    @pytest.mark.parametrize("budget", [1, 7, 64, 10_000])
+    def test_any_slicing_matches_one_blocking_run(self, budget):
+        reference_machine = fresh_machine()
+        reference = reference_machine.execute_program(assemble(PROGRAM))
+        stepped_machine = fresh_machine()
+        steps = run_stepped(stepped_machine, budget)
+        assert sum(s.cycles for s in steps) == reference.cycles
+        assert sum(s.instructions for s in steps) == reference.instructions
+        assert sum(s.issues for s in steps) == reference.issues
+        # Architectural state is identical: the stored output row matches.
+        assert stepped_machine.read_data_ram(4096, 4096) == \
+            reference_machine.read_data_ram(4096, 4096)
+
+    def test_step_returns_deltas_not_totals(self):
+        machine = fresh_machine()
+        machine.load_program(assemble(PROGRAM))
+        first = machine.step(16)
+        second = machine.step(16)
+        assert machine.total_cycles == first.cycles + second.cycles
+
+    def test_run_is_a_thin_wrapper_over_step(self):
+        run_result = fresh_machine().execute_program(assemble(PROGRAM))
+        machine = fresh_machine()
+        machine.load_program(assemble(PROGRAM))
+        step_result = machine.step()
+        assert step_result.cycles == run_result.cycles
+        assert step_result.halted and run_result.halted
+
+
+class TestRunResultAlias:
+    def test_deprecated_alias_points_at_the_renamed_class(self):
+        assert RunResult is MachineRunResult
+
+    def test_machine_returns_the_renamed_class(self):
+        result = fresh_machine().execute_program(assemble("halt"))
+        assert isinstance(result, MachineRunResult)

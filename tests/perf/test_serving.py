@@ -1,0 +1,146 @@
+"""The Server scenario: determinism, latency shape, multisocket scaling."""
+
+import numpy as np
+import pytest
+
+from repro.perf.serving import (
+    ServerScenario,
+    ServingTimingModel,
+    default_server_qps,
+    run_server,
+)
+from repro.perf.system import get_system
+from repro.soc.multisocket import MultiSocketSystem
+
+MODELS = ["mobilenet_v1", "resnet50_v15", "ssd_mobilenet_v1", "gnmt"]
+
+
+@pytest.fixture(scope="module")
+def resnet():
+    return get_system("resnet50_v15")
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("key", MODELS)
+    def test_same_seed_is_byte_identical(self, key):
+        system = get_system(key)
+        first = run_server(system, queries=128, seed=0)
+        second = run_server(system, queries=128, seed=0)
+        assert first.latencies_seconds.tobytes() == second.latencies_seconds.tobytes()
+        assert first.sustained_qps == second.sustained_qps
+        assert first.p99_latency_seconds == second.p99_latency_seconds
+
+    def test_different_seeds_differ(self, resnet):
+        first = run_server(resnet, queries=128, seed=0)
+        second = run_server(resnet, queries=128, seed=1)
+        assert first.latencies_seconds.tobytes() != second.latencies_seconds.tobytes()
+
+    def test_simulated_time_only(self, resnet):
+        # A GNMT-scale run simulates tens of seconds of model time; if the
+        # engine consulted the wall clock this test could not be instant.
+        result = run_server(get_system("gnmt"), queries=32, seed=0)
+        assert result.sustained_qps > 0
+
+
+class TestLatencyShape:
+    def test_percentiles_are_ordered(self, resnet):
+        result = run_server(resnet, queries=256, seed=0)
+        assert (
+            0
+            < result.p50_latency_seconds
+            <= result.p90_latency_seconds
+            <= result.p99_latency_seconds
+        )
+        assert result.mean_latency_seconds > 0
+        assert len(result.latencies_seconds) == 256
+
+    def test_latency_floor_is_the_service_time(self, resnet):
+        # No query can finish faster than an unqueued, unbatched pass.
+        timing = ServingTimingModel.from_system(resnet)
+        result = run_server(resnet, queries=256, seed=0)
+        floor = timing.ncore_batched(result.max_batch) + timing.serial
+        assert result.latencies_seconds.min() >= floor * 0.9
+
+    def test_overload_grows_the_queue(self, resnet):
+        light = run_server(resnet, queries=256, seed=0, qps=200.0)
+        heavy = run_server(resnet, queries=256, seed=0, qps=5000.0)
+        assert heavy.p99_latency_seconds > light.p99_latency_seconds
+        # Saturation also assembles bigger batches.
+        assert heavy.mean_batch_size > light.mean_batch_size
+
+    def test_sustained_qps_tracks_offered_load_when_underloaded(self, resnet):
+        offered = default_server_qps(resnet)
+        result = run_server(resnet, queries=512, seed=0)
+        assert result.offered_qps == pytest.approx(offered)
+        # Underloaded: the system keeps up within the arrival burstiness.
+        assert result.sustained_qps > 0.5 * offered
+
+
+class TestMultisocket:
+    def test_two_sockets_sustain_more_than_one(self, resnet):
+        single = run_server(resnet, queries=256, seed=0, qps=2000.0, sockets=1)
+        double = run_server(resnet, queries=256, seed=0, qps=2000.0, sockets=2)
+        assert double.sustained_qps > single.sustained_qps
+
+    def test_multisocket_system_helper(self, resnet):
+        system = MultiSocketSystem(sockets=2)
+        result = system.run_server(resnet, queries=128, seed=0)
+        assert result.sockets == 2
+        # The helper is the same engine path: rerunning is deterministic.
+        again = system.run_server(resnet, queries=128, seed=0)
+        assert result.latencies_seconds.tobytes() == again.latencies_seconds.tobytes()
+
+    def test_socket_efficiency_penalises_throughput(self, resnet):
+        ideal = run_server(
+            resnet, queries=256, seed=0, qps=4000.0, sockets=2, socket_efficiency=1.0
+        )
+        real = run_server(
+            resnet, queries=256, seed=0, qps=4000.0, sockets=2, socket_efficiency=0.9
+        )
+        assert real.sustained_qps < ideal.sustained_qps
+
+
+class TestTimingModel:
+    def test_decomposition_sums_to_the_single_stream_latency(self):
+        for key in MODELS:
+            system = get_system(key)
+            timing = ServingTimingModel.from_system(system)
+            assert timing.single_stream_seconds == pytest.approx(
+                system.single_stream_latency_seconds()
+            )
+
+    def test_fallback_for_minimal_systems(self):
+        class Minimal:
+            model_key = "minimal"
+
+            def single_stream_latency_seconds(self):
+                return 2e-3
+
+            def offline_throughput_ips(self, cores=8):
+                return 500.0
+
+        timing = ServingTimingModel.from_system(Minimal())
+        assert timing.single_stream_seconds == pytest.approx(2e-3)
+        result = run_server(Minimal(), queries=64, seed=0, qps=100.0)
+        assert result.queries == 64
+        assert result.p99_latency_seconds >= 2e-3
+
+    def test_ssd_does_not_batch_offline(self):
+        timing = ServingTimingModel.from_system(get_system("ssd_mobilenet_v1"))
+        assert not timing.offline_batching
+        assert timing.per_item_offline_seconds(8, cores=8) == pytest.approx(
+            timing.single_stream_seconds
+        )
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self, resnet):
+        timing = ServingTimingModel.from_system(resnet)
+        with pytest.raises(ValueError, match="query"):
+            ServerScenario(timing, qps=100.0, queries=0)
+        with pytest.raises(ValueError, match="QPS"):
+            ServerScenario(timing, qps=0.0, queries=10)
+        with pytest.raises(ValueError, match="socket"):
+            ServerScenario(timing, qps=100.0, queries=10, sockets=0)
+        with pytest.raises(ValueError, match="core"):
+            ServerScenario(timing, qps=100.0, queries=10, cores=0)

@@ -1,0 +1,132 @@
+"""The executor split: device ownership, the verify gate, async serving."""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.analyze import AnalysisError
+from repro.engine import Engine
+from repro.ncore.config import NcoreConfig
+from repro.graph.planner import RowRange
+from repro.runtime import EngineExecutor, NcoreExecutor, compile_model, execute_quantized
+from tests.quantize.test_convert import calibration_batches, small_cnn
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    from repro.quantize import calibrate, quantize_graph
+
+    g = small_cnn()
+    qg = quantize_graph(g, calibrate(g, calibration_batches()))
+    return compile_model(qg, name="smallcnn")
+
+
+def corrupt(model):
+    """A deep copy whose first Loadable overflows the SRAM (error finding)."""
+    bad = copy.deepcopy(model)
+    index = bad.ncore_segments[0]
+    loadable = bad.loadables[index]
+    name = next(iter(loadable.memory_plan.data_allocs))
+    rows = NcoreConfig().sram_rows
+    loadable.memory_plan.data_allocs[name] = RowRange(rows - 2, 4)
+    return bad
+
+
+class TestVerifyGate:
+    def test_executor_refuses_a_bad_loadable(self, compiled):
+        with pytest.raises(AnalysisError, match="sram-overflow"):
+            NcoreExecutor(corrupt(compiled))
+
+    def test_verify_false_bypasses_the_gate(self, compiled):
+        executor = NcoreExecutor(corrupt(compiled), verify=False)
+        executor.close()
+
+    def test_clean_model_passes_the_gate(self, compiled):
+        executor = NcoreExecutor(compiled)  # verify=True is the default
+        executor.close()
+
+
+class TestNcoreExecutor:
+    def test_execute_matches_direct_quantized_execution(self, compiled):
+        executor = NcoreExecutor(compiled, verify=False)
+        feeds = calibration_batches(count=1, seed=8)[0]
+        result = executor.execute(feeds)
+        direct = execute_quantized(compiled.graph, feeds)
+        for name in direct:
+            np.testing.assert_array_equal(result.outputs[name], direct[name])
+        assert result.timing.ncore_seconds > 0
+        assert result.timing.x86_seconds > 0
+        executor.close()
+
+    def test_batching_amortizes_ncore_time(self, compiled):
+        executor = NcoreExecutor(compiled, verify=False)
+        single = executor.ncore_seconds_batched(1)
+        batched = executor.ncore_seconds_batched(8)
+        assert batched <= single
+        with pytest.raises(ValueError):
+            executor.ncore_seconds_batched(0)
+        executor.close()
+
+
+class TestEngineExecutor:
+    def make(self, compiled, **kwargs):
+        engine = Engine()
+        ncore = NcoreExecutor(compiled, verify=False)
+        return engine, EngineExecutor(engine, ncore, **kwargs)
+
+    def test_submit_poll_lifecycle(self, compiled):
+        engine, executor = self.make(compiled)
+        session = executor.session("client-a")
+        feeds = calibration_batches(count=1, seed=3)[0]
+        ticket = session.submit(feeds)
+        assert session.poll(ticket) is None      # still in flight
+        assert not ticket.done
+        executor.drain()
+        result = session.poll(ticket)
+        assert result is not None
+        assert ticket.done
+        assert ticket.latency_seconds > 0
+        assert ticket.batch_size >= 1
+        direct = execute_quantized(compiled.graph, feeds)
+        for name in direct:
+            np.testing.assert_array_equal(result.outputs[name], direct[name])
+        executor.close()
+
+    def test_concurrent_submissions_batch_together(self, compiled):
+        engine, executor = self.make(compiled, max_batch=8, max_wait=1.0)
+        a, b = executor.session("a"), executor.session("b")
+        feeds = calibration_batches(count=2, seed=5)
+        first = a.submit(feeds[0])
+        second = b.submit(feeds[1])
+        executor.drain()
+        # Two handles, one queue: simultaneous submissions share a batch.
+        assert first.batch_size == 2
+        assert second.batch_size == 2
+        assert first.batch_started_at == second.batch_started_at
+        executor.close()
+
+    def test_ticket_stages_are_monotonic(self, compiled):
+        engine, executor = self.make(compiled)
+        ticket = executor.submit(calibration_batches(count=1, seed=7)[0])
+        executor.drain()
+        assert (
+            ticket.submitted_at
+            <= ticket.enqueued_at
+            <= ticket.batch_started_at
+            <= ticket.ncore_done_at
+            <= ticket.completed_at
+        )
+        assert ticket.queue_wait_seconds >= 0
+        executor.close()
+
+    def test_many_queries_all_complete(self, compiled):
+        engine, executor = self.make(compiled, max_batch=4, max_wait=50e-6)
+        feeds = calibration_batches(count=1, seed=11)[0]
+        tickets = [executor.submit(feeds) for _ in range(10)]
+        executor.drain()
+        assert all(t.done for t in tickets)
+        assert executor.queue.stats.items == 10
+        # Completion times are engine time, totally ordered with batches.
+        assert engine.now >= max(t.completed_at for t in tickets)
+        executor.close()

@@ -42,6 +42,41 @@ class TestBench:
         assert "unknown model" in capsys.readouterr().err
 
 
+class TestServe:
+    def test_runs_the_server_scenario(self, capsys):
+        assert main(["serve", "mobilenet_v1", "--queries", "128"]) == 0
+        out = capsys.readouterr().out
+        assert "Server scenario" in out
+        assert "sustained" in out
+        assert "latency p99" in out
+        assert "mean batch size" in out
+
+    def test_accepts_qps_and_sockets(self, capsys):
+        assert main([
+            "serve", "resnet", "--queries", "64", "--qps", "500", "--sockets", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "2 sockets" in out
+        assert "500.0 QPS" in out
+
+    def test_is_seed_deterministic(self, capsys):
+        args = ["serve", "mobilenet_v1", "--queries", "64", "--seed", "9"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        assert capsys.readouterr().out == first
+
+    def test_unknown_model_errors(self, capsys):
+        assert main(["serve", "alexnet"]) == 2
+        assert "unknown model" in capsys.readouterr().err
+
+    def test_bad_parameters_exit_2(self, capsys):
+        assert main(["serve", "gnmt", "--queries", "0"]) == 2
+        assert "--queries" in capsys.readouterr().err
+        assert main(["serve", "gnmt", "--qps", "0"]) == 2
+        assert "--qps" in capsys.readouterr().err
+
+
 class TestCompileAndRun:
     @pytest.fixture
     def saved_graph(self, tmp_path):
@@ -118,3 +153,4 @@ class TestReproduce:
             assert heading in out
         assert "Ncore (simulated)" in out
         assert "NVIDIA AGX Xavier" in out
+        assert "Server scenario" in out
