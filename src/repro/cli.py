@@ -8,7 +8,8 @@ Commands:
 - ``bench <model>``         -- latency/throughput/split for one zoo model
 - ``serve <model>``         -- MLPerf Server scenario on the event engine
 - ``reproduce``             -- regenerate every paper table/figure in one run
-- ``compile <graph-path>``  -- compile a serialized GIR and print the report
+- ``compile <model|path>``  -- compile through the staged driver; ``--dump-ir``
+  prints per-stage IR, ``-O{0,1,2}`` picks the pipeline preset
 - ``run <graph-path>``      -- execute a serialized GIR on a random input
 - ``trace <model>``         -- run one traced inference, write Perfetto JSON
 - ``lint <model|path>``     -- run the static analyzers; non-zero exit on errors
@@ -139,15 +140,111 @@ def _cmd_reproduce(args) -> int:
     return 0
 
 
-def _cmd_compile(args) -> int:
-    from repro.graph.frontends import load_graph
-    from repro.runtime import compile_model
+def _zoo_pipeline(key: str, info, opt_level: str, seed: int):
+    """Compose the zoo compile pipeline: optimize -> quantize -> backend.
 
-    graph = load_graph(args.path)
-    compiled = compile_model(graph, optimize=not args.no_optimize)
+    Zoo models follow the benchmark path — GCL optimization on the float
+    graph, then PTQ conversion (uint8; bf16 for GNMT), then the backend
+    stages.  Built as a custom :class:`~repro.compiler.Pipeline` so the
+    quantize step shows up in ``--dump-ir`` and stage stats like any
+    other stage.  The calibration seed is part of the pipeline id (and
+    therefore the cache key): different calibration data is a different
+    artifact.
+    """
+    from repro.compiler import Pipeline, Stage, get_pipeline
+
+    def quantize(ctx):
+        from repro.quantize import calibrate, convert_to_bf16, quantize_graph
+
+        nodes_before = len(ctx.graph.nodes)
+        if key == "gnmt":
+            ctx.graph = convert_to_bf16(ctx.graph)
+            mode = "bf16"
+        else:
+            batches = [info.sample_input(ctx.graph, seed=seed)]
+            ctx.graph = quantize_graph(ctx.graph, calibrate(ctx.graph, batches))
+            mode = "uint8"
+        return {"mode": mode, "nodes_before": nodes_before,
+                "nodes_after": len(ctx.graph.nodes)}
+
+    preset = get_pipeline(opt_level)
+    stages = [s for s in preset.stages if s.name == "optimize"]
+    stages.append(Stage("quantize", quantize, "PTQ conversion (Table V path)"))
+    stages.extend(s for s in preset.stages if s.name != "optimize")
+    return Pipeline(f"zoo-{opt_level}-s{seed}", stages)
+
+
+def _print_ir_dump(result, dump: str) -> int:
+    """Print collected IR snapshots: full text for one stage, or the
+    input IR plus per-stage unified diffs for ``all``."""
+    from repro.compiler import ir_diff
+
+    snapshots = result.snapshots
+    if dump != "all":
+        if dump not in snapshots:
+            print(f"no IR snapshot for stage {dump!r}; have "
+                  f"{', '.join(snapshots)}", file=sys.stderr)
+            return 2
+        print(f"=== IR after {dump} ===")
+        print(snapshots[dump])
+        return 0
+    names = list(snapshots)
+    print(f"=== IR: {names[0]} ===")
+    print(snapshots[names[0]])
+    for previous, current in zip(names, names[1:]):
+        print(f"=== IR after {current} ===")
+        diff = ir_diff(snapshots[previous], snapshots[current],
+                       before_name=previous, after_name=current)
+        print(diff if diff else "(unchanged)")
+    return 0
+
+
+def _cmd_compile(args) -> int:
+    from repro import obs
+    from repro.compiler import USE_DEFAULT_CACHE, CompileCache, compile_graph
+
+    from repro.models import PAPER_CHARACTERISTICS
+
+    pipeline_id = "O0" if args.no_optimize else args.opt_level
+    pipeline = pipeline_id
+    key = _resolve_model_key(args.target)
+    if key is not None:
+        name = key
+        info = PAPER_CHARACTERISTICS[key]
+        graph = info.build()
+        pipeline = _zoo_pipeline(key, info, pipeline_id, args.seed)
+    else:
+        from repro.graph.frontends import load_graph
+
+        try:
+            name, graph = args.target, load_graph(args.target)
+        except FileNotFoundError:
+            print(f"unknown model or graph path {args.target!r}; zoo keys: "
+                  f"{sorted(PAPER_CHARACTERISTICS)}", file=sys.stderr)
+            return 2
+    if args.cache_dir:
+        cache = CompileCache(directory=args.cache_dir)
+    elif args.no_cache:
+        cache = None
+    else:
+        cache = USE_DEFAULT_CACHE
+    with obs.observe() as (tracer, _metrics):
+        result = compile_graph(
+            graph, pipeline=pipeline, name=name, cache=cache,
+            collect_ir=args.dump_ir is not None,
+        )
+    compiled = result.model
     print(compiled.summary())
     cycles = compiled.ncore_cycles()
     print(f"Ncore portion: {cycles:,} cycles ({cycles / 2.5e9 * 1e6:.1f} us at 2.5 GHz)")
+    if result.cache_hit:
+        print(f"  cache hit ({result.key[:16]}...)")
+    for stats in result.stats:
+        print(f"  {stats.summary()}")
+    if args.dump_ir is not None:
+        spans = tracer.spans_on("compiler")
+        print(f"  {len(spans)} compiler spans recorded")
+        return _print_ir_dump(result, args.dump_ir)
     return 0
 
 
@@ -185,7 +282,7 @@ def _lint_target_graph(target: str, seed: int):
     quantization, bf16 for GNMT); anything else is treated as a serialized
     GIR path and linted as-is.
     """
-    from repro.graph.passes import default_pipeline
+    from repro.compiler import optimize_graph
     from repro.models import PAPER_CHARACTERISTICS
     from repro.quantize import calibrate, convert_to_bf16, quantize_graph
 
@@ -193,7 +290,7 @@ def _lint_target_graph(target: str, seed: int):
     if key is not None:
         info = PAPER_CHARACTERISTICS[key]
         graph = info.build()
-        default_pipeline().run(graph)
+        optimize_graph(graph, in_place=True)
         if key == "gnmt":
             return key, convert_to_bf16(graph)
         batches = [info.sample_input(graph, seed=seed)]
@@ -379,12 +476,34 @@ def build_parser() -> argparse.ArgumentParser:
                       help="include info-severity notes in the text output")
     lint.add_argument("--seed", type=int, default=0,
                       help="calibration seed for the quantized zoo path")
-    for name in ("compile", "run"):
-        cmd = sub.add_parser(name, help=f"{name} a serialized GIR")
-        cmd.add_argument("path", help="path prefix of the .json/.npz pair")
-        cmd.add_argument("--no-optimize", action="store_true")
-        if name == "run":
-            cmd.add_argument("--seed", type=int, default=0)
+    compile_cmd = sub.add_parser(
+        "compile", help="compile a zoo model or serialized GIR through the staged driver"
+    )
+    compile_cmd.add_argument(
+        "target",
+        help="zoo model key (or unique prefix) or path prefix of the .json/.npz pair",
+    )
+    compile_cmd.add_argument(
+        "-O", "--opt-level", choices=["O0", "O1", "O2"], default="O2",
+        help="pipeline preset (default O2: full GCL pipeline to fixed point)",
+    )
+    compile_cmd.add_argument("--no-optimize", action="store_true",
+                             help="alias for -O O0")
+    compile_cmd.add_argument(
+        "--dump-ir", nargs="?", const="all", default=None, metavar="STAGE",
+        help="print per-stage IR (diffs between stages; name a stage for its "
+             "full snapshot)",
+    )
+    compile_cmd.add_argument("--no-cache", action="store_true",
+                             help="bypass the compile cache")
+    compile_cmd.add_argument("--cache-dir", metavar="DIR",
+                             help="use (and persist) an on-disk compile cache")
+    compile_cmd.add_argument("--seed", type=int, default=0,
+                             help="calibration seed for the quantized zoo path")
+    run_cmd = sub.add_parser("run", help="run a serialized GIR")
+    run_cmd.add_argument("path", help="path prefix of the .json/.npz pair")
+    run_cmd.add_argument("--no-optimize", action="store_true")
+    run_cmd.add_argument("--seed", type=int, default=0)
     return parser
 
 

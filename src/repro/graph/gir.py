@@ -107,6 +107,11 @@ class Tensor:
     type: TensorType
     data: np.ndarray | None = None
     quant: QuantParams | None = None
+    # Memoized (stamp, sha256) of ``data``, maintained by
+    # repro.compiler.fingerprint; reassigning ``data`` invalidates it.
+    _content_digest: tuple[Any, str] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def is_constant(self) -> bool:
@@ -200,6 +205,29 @@ class Graph:
             raise GraphError(f"duplicate node name {node.name!r}")
         self.nodes.append(node)
         return node
+
+    def copy(self, name: str | None = None) -> "Graph":
+        """A structurally independent copy of this graph.
+
+        Node and tensor objects are duplicated (mutable wiring lists and
+        attribute dicts included) so optimization passes on the copy can
+        never touch the original.  Constant arrays are shared read-only —
+        no pass rewrites weight data in place; passes that fold constants
+        install *new* arrays on the copy.
+        """
+        clone = Graph(name if name is not None else self.name)
+        for tensor_name, tensor in self.tensors.items():
+            clone.tensors[tensor_name] = Tensor(
+                tensor.name, tensor.type, tensor.data, tensor.quant
+            )
+        clone.inputs = list(self.inputs)
+        clone.outputs = list(self.outputs)
+        clone.nodes = [
+            Node(node.name, node.op, list(node.inputs), list(node.outputs),
+                 dict(node.attrs))
+            for node in self.nodes
+        ]
+        return clone
 
     # ------------------------------------------------------------------
     # Queries

@@ -85,12 +85,21 @@ class NcoreLoadable:
 
 @dataclass
 class CompiledModel:
-    """The full compilation result: segments in execution order."""
+    """The full compilation result: segments in execution order.
+
+    ``compile_info`` carries the compiler driver's provenance — the
+    content-address key, pipeline id and per-stage change stats — when
+    the model came through ``repro.compiler``; it stays empty for
+    hand-assembled models.  Compiled models are treated as immutable
+    artifacts once built (the compile cache hands the same object to
+    every hit).
+    """
 
     name: str
     graph: Graph
     segments: list[Segment]
     loadables: dict[int, NcoreLoadable] = field(default_factory=dict)  # by segment idx
+    compile_info: dict[str, Any] = field(default_factory=dict)
 
     @property
     def ncore_segments(self) -> list[int]:

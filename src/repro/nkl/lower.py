@@ -14,7 +14,7 @@ from repro.dtypes import NcoreDType
 from repro.graph.gir import Graph, Node
 from repro.graph.loadable import KernelInvocation, NcoreLoadable
 from repro.graph.partitioner import Segment
-from repro.graph.planner import plan_memory
+from repro.graph.planner import MemoryPlan, plan_memory
 from repro.ncore.config import NcoreConfig
 from repro.nkl.schedule import (
     KernelSchedule,
@@ -133,6 +133,7 @@ def lower_segment(
     name: str = "segment",
     compress_sparse_weights: bool = False,
     verify: bool = True,
+    plan: MemoryPlan | None = None,
 ) -> NcoreLoadable:
     """Compile one Ncore segment into a loadable.
 
@@ -145,11 +146,15 @@ def lower_segment(
     :class:`~repro.analyze.AnalysisError` on error-severity findings —
     an illegal DMA schedule or uninitialized scratchpad read is rejected
     here, at compile time, instead of hanging the machine mid-run.
+
+    ``plan`` supplies a precomputed memory plan (the staged compiler
+    driver's ``plan`` stage); when None, planning happens here.
     """
     if segment.target != "ncore":
         raise ValueError("lower_segment only compiles Ncore segments")
     config = config or NcoreConfig()
-    plan = plan_memory(graph, segment, config)
+    if plan is None:
+        plan = plan_memory(graph, segment, config)
     loadable = NcoreLoadable(name=name, segment=segment, memory_plan=plan)
     for node in segment.nodes:
         schedule = _schedule_node(graph, node)

@@ -19,8 +19,8 @@ import functools
 
 import numpy as np
 
+from repro.compiler import optimize_graph
 from repro.graph.loadable import CompiledModel
-from repro.graph.passes import default_pipeline
 from repro.models import PAPER_CHARACTERISTICS, ModelInfo
 from repro.ncore.config import NcoreConfig
 from repro.perf.scaling import expected_throughput, observed_throughput
@@ -60,7 +60,7 @@ class BenchmarkSystem:
 
         graph = self.info.build(**(build_kwargs or {}))
         self.float_graph_nodes = len(graph.nodes)
-        default_pipeline().run(graph)
+        optimize_graph(graph, in_place=True)
         if model_key == "gnmt":
             converted = convert_to_bf16(graph)
         else:

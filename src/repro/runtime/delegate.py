@@ -17,12 +17,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.compiler import USE_DEFAULT_CACHE, compile_graph
+from repro.compiler.cache import CompileCache
+from repro.compiler.driver import _UseDefaultCache
 from repro.graph.gir import Graph
 from repro.graph.loadable import CompiledModel
-from repro.graph.partitioner import partition
-from repro.graph.passes import default_pipeline
 from repro.ncore.config import NcoreConfig
-from repro.nkl.lower import lower_segment
 from repro.obs.metrics import get_metrics
 from repro.obs.tracer import get_tracer
 from repro.runtime.qkernels import execute_quantized
@@ -39,8 +39,18 @@ def compile_model(
     optimize: bool = True,
     name: str | None = None,
     verify: bool = True,
+    in_place: bool = False,
+    cache: CompileCache | None | _UseDefaultCache = USE_DEFAULT_CACHE,
 ) -> CompiledModel:
     """Run the GCL pipeline, partition, and lower the Ncore segments.
+
+    A thin backwards-compatible facade over
+    :func:`repro.compiler.compile_graph`: ``optimize`` selects the ``O2``
+    pipeline (``O0`` otherwise), repeat compiles of a byte-identical
+    (graph, config, pipeline) are served from the process-wide compile
+    cache (pass ``cache=None`` to force a fresh compile), and — unless
+    ``in_place=True`` — optimization runs on a private copy so the
+    caller's graph is never mutated.
 
     ``verify`` (the default) gates compilation on the ``repro.analyze``
     static verifiers: the GIR verifier runs over the partitioned graph and
@@ -51,36 +61,21 @@ def compile_model(
     with get_tracer().span(
         "delegate.compile", track="delegate", model=name or graph.name
     ) as span:
-        if optimize:
-            with get_tracer().span("delegate.optimize", track="delegate"):
-                default_pipeline().run(graph)
-        with get_tracer().span("delegate.partition", track="delegate"):
-            segments = partition(graph)
-        if verify:
-            from repro.analyze import analyze_graph, enforce
-
-            with get_tracer().span("delegate.verify", track="delegate"):
-                enforce(
-                    analyze_graph(graph, segments=segments),
-                    context=name or graph.name,
-                )
-        model = CompiledModel(
-            name=name or graph.name, graph=graph, segments=segments
+        result = compile_graph(
+            graph,
+            config=config,
+            pipeline="O2" if optimize else "O0",
+            name=name,
+            verify=verify,
+            in_place=in_place,
+            cache=cache,
         )
-        for index, segment in enumerate(segments):
-            if segment.target == "ncore":
-                with get_tracer().span(
-                    f"delegate.lower[{index}]", track="delegate",
-                    nodes=len(segment.nodes),
-                ):
-                    model.loadables[index] = lower_segment(
-                        graph, segment, config, name=f"{model.name}_seg{index}",
-                        verify=verify,
-                    )
+        model = result.model
         span.set(
-            segments=len(segments),
+            segments=len(model.segments),
             ncore_segments=len(model.ncore_segments),
             x86_segments=len(model.x86_segments),
+            cache_hit=result.cache_hit,
         )
         metrics = get_metrics()
         if metrics.enabled:

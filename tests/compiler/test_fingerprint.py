@@ -1,0 +1,83 @@
+"""Content fingerprints: stable across rebuilds, sensitive to every input."""
+
+import numpy as np
+
+from repro.compiler import compile_key, fingerprint_config, fingerprint_graph
+from repro.ncore.config import NcoreConfig
+from tests.quantize.test_convert import small_cnn
+
+
+class TestGraphFingerprint:
+    def test_deterministic_across_rebuilds(self):
+        assert fingerprint_graph(small_cnn()) == fingerprint_graph(small_cnn())
+
+    def test_copy_shares_the_fingerprint(self):
+        g = small_cnn()
+        assert fingerprint_graph(g.copy()) == fingerprint_graph(g)
+
+    def test_display_name_is_excluded(self):
+        g = small_cnn()
+        renamed = g.copy(name="something-else")
+        assert fingerprint_graph(renamed) == fingerprint_graph(g)
+
+    def test_weight_byte_change_invalidates(self):
+        g = small_cnn()
+        before = fingerprint_graph(g)
+        g.tensor("w1").data = g.tensor("w1").data + np.float32(1e-3)
+        assert fingerprint_graph(g) != before
+
+    def test_attribute_change_invalidates(self):
+        g = small_cnn()
+        before = fingerprint_graph(g)
+        g.node("conv1").attrs["activation"] = "relu6"
+        assert fingerprint_graph(g) != before
+
+    def test_quant_params_participate(self):
+        from repro.quantize import calibrate, quantize_graph
+        from tests.quantize.test_convert import calibration_batches
+
+        g = small_cnn()
+        qg1 = quantize_graph(g, calibrate(g, calibration_batches(seed=5)))
+        qg2 = quantize_graph(g, calibrate(g, calibration_batches(seed=6)))
+        # Same structure, different calibration -> different scales -> keys.
+        assert fingerprint_graph(qg1) != fingerprint_graph(qg2)
+
+
+class TestCompileKey:
+    def test_config_change_invalidates(self):
+        g = small_cnn()
+        base = compile_key(g, NcoreConfig(), "O2")
+        halved = compile_key(g, NcoreConfig(slices=8), "O2")
+        assert base != halved
+
+    def test_pipeline_id_participates(self):
+        g = small_cnn()
+        assert compile_key(g, NcoreConfig(), "O0") != compile_key(g, NcoreConfig(), "O2")
+
+    def test_name_participates(self):
+        g = small_cnn()
+        assert compile_key(g, NcoreConfig(), "O2", name="a") != compile_key(
+            g, NcoreConfig(), "O2", name="b"
+        )
+
+    def test_verify_mode_participates(self):
+        g = small_cnn()
+        assert compile_key(g, NcoreConfig(), "O2", verify=True) != compile_key(
+            g, NcoreConfig(), "O2", verify=False
+        )
+
+    def test_config_fingerprint_deterministic(self):
+        assert fingerprint_config(NcoreConfig()) == fingerprint_config(NcoreConfig())
+
+
+class TestKeyStability:
+    def test_key_is_computed_before_mutation(self):
+        """compile_graph keys the *input* graph, so a recompile of a fresh
+        build hits even though the first compile optimized its copy."""
+        from repro.compiler import CompileCache, compile_graph
+
+        cache = CompileCache()
+        first = compile_graph(small_cnn(), cache=cache)
+        second = compile_graph(small_cnn(), cache=cache)
+        assert first.key == second.key
+        assert second.cache_hit

@@ -1,0 +1,76 @@
+"""Golden-IR snapshots: stage-by-stage counts pinned for the model zoo.
+
+Two layers of pinning:
+
+- the float-graph optimize stage (GCL folding/fusion) per model — cheap,
+  graphs are built fresh;
+- the backend stages (partition/plan/lower) over the converted benchmark
+  graphs, reusing the ``get_system`` cache the perf tests already warm.
+
+If a pass, the partitioner or the lowering changes what it produces for
+the paper's four models, these numbers move and the change has to be
+acknowledged here.
+"""
+
+import pytest
+
+from repro.compiler import compile_graph, optimize_graph
+from repro.models import PAPER_CHARACTERISTICS
+from repro.perf.system import get_system
+
+# model -> (float nodes, optimized nodes)
+OPTIMIZE_GOLDEN = {
+    "mobilenet_v1": (84, 30),
+    "resnet50_v15": (163, 73),
+    "ssd_mobilenet_v1": (133, 63),
+    "gnmt": (356, 355),
+}
+
+# model -> (converted nodes, segments, ncore segments, kernels)
+BACKEND_GOLDEN = {
+    "mobilenet_v1": (32, 2, 1, 31),
+    "resnet50_v15": (75, 2, 1, 74),
+    "ssd_mobilenet_v1": (66, 16, 8, 52),
+    "gnmt": (355, 56, 28, 302),
+}
+
+STAGE_ORDER = ["input", "partition", "verify", "plan", "lower", "finalize"]
+
+
+@pytest.mark.parametrize("key", sorted(OPTIMIZE_GOLDEN))
+def test_optimize_stage_node_counts(key):
+    expected_before, expected_after = OPTIMIZE_GOLDEN[key]
+    graph = PAPER_CHARACTERISTICS[key].build()
+    assert len(graph.nodes) == expected_before
+    optimized = optimize_graph(graph)
+    assert len(optimized.nodes) == expected_after
+    assert len(graph.nodes) == expected_before  # input graph untouched
+
+
+@pytest.mark.parametrize("key", sorted(BACKEND_GOLDEN))
+def test_backend_stage_counts(key):
+    nodes, segments, ncore, kernels = BACKEND_GOLDEN[key]
+    system = get_system(key)
+    result = compile_graph(
+        system.compiled.graph, config=system.config, pipeline="O0",
+        name=key, cache=None, collect_ir=True,
+    )
+    assert len(result.model.graph.nodes) == nodes
+    part = result.context.stage_stats("partition").changes
+    assert part["segments"] == segments
+    assert part["ncore_segments"] == ncore
+    assert result.context.stage_stats("lower").changes["kernels"] == kernels
+    assert list(result.snapshots) == STAGE_ORDER
+
+
+@pytest.mark.parametrize("key", sorted(BACKEND_GOLDEN))
+def test_staged_compile_matches_benchmark_artifact(key):
+    """The staged O0 pipeline reproduces the benchmark path's cycles."""
+    system = get_system(key)
+    result = compile_graph(
+        system.compiled.graph, config=system.config, pipeline="O0",
+        name=key, cache=None,
+    )
+    assert result.model.ncore_cycles(system._dma_bytes_per_cycle) == (
+        system.compiled.ncore_cycles(system._dma_bytes_per_cycle)
+    )

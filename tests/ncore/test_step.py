@@ -1,11 +1,12 @@
 """The resumable ``Ncore.step`` API: budgets, state carry-over, the alias."""
 
+import warnings
+
 import numpy as np
 import pytest
 
 from repro.isa import assemble
 from repro.ncore import MachineRunResult, Ncore
-from repro.ncore.machine import RunResult
 
 PROGRAM = (
     "setaddr a0, 0\nsetaddr a1, 0\nsetaddr a6, 1\n"
@@ -79,7 +80,25 @@ class TestStep:
 
 class TestRunResultAlias:
     def test_deprecated_alias_points_at_the_renamed_class(self):
-        assert RunResult is MachineRunResult
+        import repro.ncore.machine as machine_module
+
+        assert machine_module.RunResult is MachineRunResult
+
+    def test_alias_warns_exactly_once_per_process(self):
+        import repro.ncore.machine as machine_module
+
+        machine_module._runresult_warned = False
+        with pytest.warns(DeprecationWarning, match="MachineRunResult"):
+            machine_module.RunResult
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            machine_module.RunResult  # second access: silent
+
+    def test_unknown_attribute_still_raises(self):
+        import repro.ncore.machine as machine_module
+
+        with pytest.raises(AttributeError):
+            machine_module.NoSuchThing
 
     def test_machine_returns_the_renamed_class(self):
         result = fresh_machine().execute_program(assemble("halt"))

@@ -92,6 +92,57 @@ class TestCompileAndRun:
         assert "segments" in out
         assert "Ncore portion" in out
 
+    def test_compile_prints_stage_stats(self, saved_graph, capsys):
+        assert main(["compile", saved_graph]) == 0
+        out = capsys.readouterr().out
+        for stage in ("optimize:", "partition:", "verify:", "plan:",
+                      "lower:", "finalize:"):
+            assert stage in out
+
+    def test_compile_dump_ir_all(self, saved_graph, capsys):
+        assert main(["compile", saved_graph, "--dump-ir", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "=== IR: input ===" in out
+        assert "=== IR after partition ===" in out
+        assert "compiler spans recorded" in out
+
+    def test_compile_dump_ir_single_stage(self, saved_graph, capsys):
+        assert main(["compile", saved_graph, "--dump-ir=lower"]) == 0
+        out = capsys.readouterr().out
+        assert "=== IR after lower ===" in out
+        assert "loadables:" in out
+
+    def test_compile_dump_ir_unknown_stage_errors(self, saved_graph, capsys):
+        assert main(["compile", saved_graph, "--dump-ir=bogus"]) == 2
+        assert "no IR snapshot" in capsys.readouterr().err
+
+    def test_compile_opt_level_o0_skips_optimize(self, saved_graph, capsys):
+        assert main(["compile", saved_graph, "-O", "O0"]) == 0
+        out = capsys.readouterr().out
+        assert "optimize:" not in out
+        assert "partition:" in out
+
+    def test_compile_cache_dir_serves_second_compile(self, saved_graph,
+                                                     tmp_path, capsys):
+        cache_dir = str(tmp_path / "cc")
+        assert main(["compile", saved_graph, "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["compile", saved_graph, "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "cache hit" in out
+        assert "Ncore portion" in out
+
+    def test_compile_zoo_key_runs_quantized_pipeline(self, capsys):
+        assert main(["compile", "mobilenet_v1", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "quantize:" in out
+        assert "mode=uint8" in out
+        assert "Ncore portion" in out
+
+    def test_compile_unknown_target_errors(self, capsys):
+        assert main(["compile", "/nonexistent/graph"]) == 2
+        assert "unknown model or graph path" in capsys.readouterr().err
+
     def test_run_executes(self, saved_graph, capsys):
         assert main(["run", saved_graph, "--seed", "3"]) == 0
         out = capsys.readouterr().out
