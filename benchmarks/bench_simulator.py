@@ -2,40 +2,24 @@
 
 Times the Fig. 6 fused convolution inner loop (one 4096-wide MAC issue per
 iteration) on the functional simulator — the number that bounds how large
-a workload the golden model can replay for verification.
+a workload the golden model can replay for verification.  The machine and
+program come from :mod:`repro.perf.simbench`, which also records the
+``BENCH_simulator.json`` baseline; the fastpath/interpreter pair here is
+the microbenchmark behind the tier-1 speedup claim in
+``docs/simulator-performance.md``.
 """
 
-import numpy as np
+from repro.perf.simbench import FIG6_ITERATIONS, fig6_machine
 
-from repro.isa import assemble
-from repro.ncore import Ncore
-
-ITERATIONS = 512
+ITERATIONS = FIG6_ITERATIONS
 
 
-def build_machine():
-    machine = Ncore()
-    machine.write_data_ram(0, bytes(np.full(4096, 3, np.uint8)))
-    machine.write_weight_ram(0, bytes(np.full(4096, 2, np.uint8)))
-    program = assemble(
-        f"""
-        setaddr a0, 0
-        setaddr a3, 0
-        setaddr a5, 0
-        bypass n0, dram[a0]
-        loop {ITERATIONS} {{
-          broadcast64 n1, wtram[a3], a5, inc
-          mac.uint8 dlast, n1
-          rotl n0, n0, 64
-        }}
-        halt
-        """
-    )
-    return machine, program
+def build_machine(fastpath=None):
+    return fig6_machine(fastpath=fastpath)
 
 
-def test_simulator_inner_loop_throughput(benchmark):
-    machine, program = build_machine()
+def _throughput_case(benchmark, fastpath):
+    machine, program = build_machine(fastpath=fastpath)
 
     def run():
         machine.reset()
@@ -44,12 +28,24 @@ def test_simulator_inner_loop_throughput(benchmark):
     result = benchmark(run)
     assert result.halted
     # One simulated clock per fused iteration, plus 3 setaddr + bypass +
-    # halt around the loop.
+    # halt around the loop.  Identical on both tiers.
     assert result.cycles == ITERATIONS + 5
+    return machine
+
+
+def test_simulator_inner_loop_throughput(benchmark):
+    machine = _throughput_case(benchmark, fastpath=True)
+    assert machine.fastpath_stats["hits"] > 0
+
+
+def test_simulator_inner_loop_interpreter(benchmark):
+    machine = _throughput_case(benchmark, fastpath=False)
+    assert machine.fastpath_stats["hits"] == 0
 
 
 def test_simulator_dma_roundtrip_throughput(benchmark):
-    from repro.ncore import DmaDescriptor
+    from repro.isa import assemble
+    from repro.ncore import DmaDescriptor, Ncore
 
     machine = Ncore()
     machine.dma_read.configure_window(0)

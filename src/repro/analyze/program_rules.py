@@ -22,6 +22,7 @@ from repro.isa.instruction import (
     NDUOpcode,
     OutOp,
     OutOpcode,
+    SeqOp,
     SeqOpcode,
 )
 from repro.isa.operands import (
@@ -81,6 +82,11 @@ LOOP_STRUCTURE = register_rule(
 DMA_DESCRIPTOR = register_rule(
     "isa.dma-descriptor", Severity.ERROR, "DMA descriptor index out of range",
     f"dmastart references a descriptor slot beyond {NUM_DMA_DESCRIPTORS}.",
+)
+DMA_WAIT = register_rule(
+    "isa.dma-wait", Severity.ERROR, "DMA wait group out of range",
+    "dmawait names an engine group outside 0..3; the hardware would wait "
+    "on no engine at all, silently skipping the synchronization.",
 )
 SRAM_BOUNDS = register_rule(
     "isa.sram-bounds", Severity.ERROR, "RAM access outside the scratchpad",
@@ -253,6 +259,12 @@ def _check_seq(
                 f"DMA descriptor {seq.arg} exceeds {NUM_DMA_DESCRIPTORS} slots",
                 artifact=name, element="seq", index=index,
             ))
+    if seq.opcode is SeqOpcode.DMA_WAIT and seq.arg not in SeqOp.DMA_WAIT_GROUPS:
+        findings.append(diag(
+            DMA_WAIT,
+            f"DMA wait group {seq.arg} is not a valid engine group (0..3)",
+            artifact=name, element="seq", index=index,
+        ))
     return findings
 
 

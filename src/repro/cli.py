@@ -76,12 +76,15 @@ def _cmd_models(args) -> int:
 
 def _cmd_bench(args) -> int:
     from repro.models import PAPER_CHARACTERISTICS
+    from repro.ncore.fastpath import set_fastpath_default
+    from repro.perf.simbench import measure_inner_loop
     from repro.perf.system import get_system
 
     if args.model not in PAPER_CHARACTERISTICS:
         print(f"unknown model {args.model!r}; try one of "
               f"{sorted(PAPER_CHARACTERISTICS)}", file=sys.stderr)
         return 2
+    set_fastpath_default(args.fastpath)
     system = get_system(args.model)
     split = system.workload_split()
     print(f"{system.info.display} on one CHA socket")
@@ -91,6 +94,10 @@ def _cmd_bench(args) -> int:
     print(f"  SingleStream latency: {system.single_stream_latency_seconds() * 1e3:8.3f} ms")
     print(f"  Offline throughput:   {system.offline_throughput_ips(cores=args.cores):8.1f} IPS "
           f"({args.cores} cores)")
+    inner = measure_inner_loop(fastpath=args.fastpath)
+    tier = "fastpath" if args.fastpath else "interpreter"
+    print(f"  Simulator inner loop: {inner['cycles_per_second']:8.0f} cycles/s "
+          f"({tier})")
     return 0
 
 
@@ -435,6 +442,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser("bench", help="benchmark one zoo model")
     bench.add_argument("model", help="model key, e.g. resnet50_v15")
     bench.add_argument("--cores", type=int, default=8)
+    bench.add_argument(
+        "--fastpath", action=argparse.BooleanOptionalAction, default=True,
+        help="use the trace-fused simulator tier (--no-fastpath for the "
+             "pure interpreter)",
+    )
     serve = sub.add_parser(
         "serve", help="run the MLPerf Server scenario on the event engine"
     )

@@ -66,6 +66,7 @@ class MachineTask:
         budget_cycles: int = DEFAULT_BUDGET_CYCLES,
         name: str = "ncore",
         trace: bool = True,
+        amortize_overshoot: bool = False,
     ) -> None:
         if budget_cycles < 1:
             raise ValueError("budget_cycles must be at least 1")
@@ -74,18 +75,43 @@ class MachineTask:
         self.budget_cycles = budget_cycles
         self.name = name
         self.trace = trace
+        # A step can exceed its budget: one instruction's repeat block is
+        # committed whole (interpreted or trace-fused), so a long fused
+        # macro-op may run past the slice boundary.  The engine clock
+        # always advances by the cycles actually consumed — overshoot
+        # never drifts simulated time — but it does stretch the
+        # interleaving granularity, which `amortize_overshoot` repays by
+        # shrinking later budgets until the average slice matches.
+        self.amortize_overshoot = amortize_overshoot
+        self.overshoot_cycles = 0
         self.run = MachineRun()
         if program is not None:
             machine.load_program(program)
         self.task: Task = engine.process(self._body(), name=name)
 
     def _body(self) -> Iterator[Event]:
+        from repro.obs.metrics import get_metrics
+
         machine = self.machine
         clock_hz = machine.config.clock_hz
         self.run.started_at = self.engine.now
+        debt = 0
         while not machine.halted:
             start = self.engine.now
-            result = machine.step(self.budget_cycles)
+            requested = self.budget_cycles
+            if self.amortize_overshoot:
+                requested = max(1, self.budget_cycles - debt)
+            result = machine.step(requested)
+            overshoot = result.cycles - requested
+            if overshoot > 0:
+                self.overshoot_cycles += overshoot
+                metrics = get_metrics()
+                if metrics.enabled:
+                    metrics.counter(
+                        "engine.machine.overshoot_cycles", unit="cycles"
+                    ).inc(overshoot)
+            if self.amortize_overshoot:
+                debt = max(0, debt + result.cycles - self.budget_cycles)
             self.run.steps.append(result)
             elapsed = result.cycles / clock_hz
             if self.trace:

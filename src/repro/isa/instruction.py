@@ -195,12 +195,20 @@ class SeqOp:
     arg: int = 0
     arg2: int = 0
 
+    #: DMA_WAIT engine groups: 0 = both, 1 = read, 2 = write, 3 = both.
+    DMA_WAIT_GROUPS = frozenset({0, 1, 2, 3})
+
     def __post_init__(self) -> None:
         if self.opcode in (SeqOpcode.SET_ADDR, SeqOpcode.ADD_ADDR):
             if not 0 <= self.arg < NUM_ADDR_REGS:
                 raise ValueError(f"address register {self.arg} out of range")
         if self.opcode is SeqOpcode.DMA_START and not 0 <= self.arg < NUM_DMA_DESCRIPTORS:
             raise ValueError(f"DMA descriptor {self.arg} out of range")
+        if self.opcode is SeqOpcode.DMA_WAIT and self.arg not in self.DMA_WAIT_GROUPS:
+            raise ValueError(
+                f"DMA_WAIT engine group {self.arg} out of range (0..3); "
+                "an unknown group would wait on no engine at all"
+            )
         if self.opcode is SeqOpcode.LOOP_BEGIN and self.arg2 < 1:
             raise ValueError("loop trip count must be >= 1")
 
@@ -262,6 +270,47 @@ class Instruction:
     @property
     def is_halt(self) -> bool:
         return self.seq.opcode is SeqOpcode.HALT
+
+    # NDU operations whose effect on a row is a pure, statically known
+    # function of (source row, address registers): EXPAND consumes a
+    # variable-length stream (data-dependent), MERGE reads back the
+    # destination register's previous value through a runtime mask.
+    TRACE_NDU_OPCODES = frozenset(
+        {NDUOpcode.BYPASS, NDUOpcode.ROTATE, NDUOpcode.BROADCAST64}
+    )
+
+    # Sequencer ops a fused trace can absorb: NOP costs nothing, ADD_ADDR
+    # is a statically known address-register stride.  Everything else
+    # either transfers control, talks to DMA/debug hardware, or (SET_ADDR)
+    # makes the address recurrence non-affine.
+    TRACE_SEQ_OPCODES = frozenset({SeqOpcode.NOP, SeqOpcode.ADD_ADDR})
+
+    def fusion_blockers(self) -> tuple[str, ...]:
+        """Why this instruction cannot join a statically fused trace.
+
+        Trace-legality metadata for ``repro.ncore.fastpath``: an empty
+        tuple means every unit op of this instruction is analyzable as a
+        pure function of (RAM rows, NDU registers, address-register
+        strides) — the precondition for executing all hardware-repeated
+        iterations as one vectorized macro-op.  Each entry names the
+        blocking unit/op so diagnostics can say *why* a loop fell back to
+        the interpreter.
+        """
+        reasons: list[str] = []
+        for op in self.ndu_ops:
+            if op.opcode not in self.TRACE_NDU_OPCODES:
+                reasons.append(f"ndu.{op.opcode.value}")
+        if self.npu is not None and self.npu.opcode is NPUOpcode.CMPGT:
+            # CMPGT rewrites a predicate register mid-trace, so later
+            # iterations would see a different mask.
+            reasons.append("npu.cmpgt")
+        if self.out is not None and self.out.opcode is not OutOpcode.NOP:
+            # OUT ops read intermediate accumulator values (REQUANT) or
+            # write RAM rows that later iterations may read back (STORE).
+            reasons.append(f"out.{self.out.opcode.value}")
+        if self.seq.opcode not in self.TRACE_SEQ_OPCODES:
+            reasons.append(f"seq.{self.seq.opcode.value}")
+        return tuple(reasons)
 
     def issue_cycles(self) -> int:
         """Clock cycles for one issue of this instruction.

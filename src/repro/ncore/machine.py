@@ -50,6 +50,7 @@ from repro.isa.operands import (
     Operand,
     OperandKind,
 )
+from repro.ncore import fastpath as fastpath_mod
 from repro.ncore import ndu as ndu_unit
 from repro.ncore import npu as npu_unit
 from repro.ncore import out as out_unit
@@ -116,8 +117,31 @@ class _LoopFrame:
 class Ncore:
     """One Ncore coprocessor instance."""
 
-    def __init__(self, config: NcoreConfig | None = None, memory: LinearMemory | None = None) -> None:
+    def __init__(
+        self,
+        config: NcoreConfig | None = None,
+        memory: LinearMemory | None = None,
+        fastpath: bool | None = None,
+    ) -> None:
         self.config = config or NcoreConfig()
+        # Tier-1 fast path (repro.ncore.fastpath): None defers to the
+        # process-wide default; False forces pure interpretation.
+        self.fastpath = (
+            fastpath_mod.get_fastpath_default() if fastpath is None else bool(fastpath)
+        )
+        # One fused-trace table per IRAM bank, rebuilt on load_program.
+        self._fastpath_tables: list[dict[int, fastpath_mod.FusedTrace]] = [{}, {}]
+        self.fastpath_stats: dict[str, int] = {
+            "compiled": 0,
+            "rejected": 0,
+            "hits": 0,
+            "misses": 0,
+            "fallbacks": 0,
+            "fused_trips": 0,
+        }
+        # Recycled block temporaries (see _Evaluator.scratch); purely an
+        # allocation cache, never part of architectural state.
+        self._fastpath_scratch: dict[object, np.ndarray] = {}
         cfg = self.config
         self.data_ram = RowMemory(cfg.sram_rows, cfg.row_bytes, "data_ram")
         self.weight_ram = RowMemory(cfg.sram_rows, cfg.row_bytes, "weight_ram")
@@ -227,6 +251,11 @@ class Ncore:
         """
         inactive = self.iram.active_bank ^ 1
         self.iram.load_bank(inactive, program, running=self.running)
+        self._fastpath_tables[inactive] = (
+            fastpath_mod.compile_program(program, self.config, self.fastpath_stats)
+            if self.fastpath
+            else {}
+        )
         if swap:
             self.iram.swap()
             self.pc = 0
@@ -470,6 +499,12 @@ class Ncore:
             engine.start(descriptor, self.data_ram, self.weight_ram, self.total_cycles)
             return pc + 1
         if opcode is SeqOpcode.DMA_WAIT:
+            if seq.arg not in SeqOp.DMA_WAIT_GROUPS:
+                # An unknown engine group would wait on no engine at all —
+                # silently skipping the synchronization point.
+                raise ExecutionError(
+                    f"DMA_WAIT engine group {seq.arg} is not a valid encoding (0..3)"
+                )
             engines = []
             if seq.arg in (0, 1, 3):
                 engines.append(self.dma_read)
@@ -510,6 +545,22 @@ class Ncore:
         if self._resume_repeat is not None and self._resume_repeat[0] == self.pc:
             start = self._resume_repeat[1]
         self._resume_repeat = None
+        if self.fastpath and instruction.repeat - start > 1:
+            entry = self._fastpath_tables[self.iram.active_bank].get(self.pc)
+            if entry is None or entry.kind != "repeat":
+                fastpath_mod.note_stat(self.fastpath_stats, "misses")
+            else:
+                count = instruction.repeat - start
+                reason = entry.preflight(self, count)
+                if reason is None:
+                    done = entry.run(self, count)
+                    start += done
+                    fastpath_mod.note_stat(self.fastpath_stats, "hits")
+                    fastpath_mod.note_stat(self.fastpath_stats, "fused_trips", done)
+                    if done < count:  # saturation: interpret the rest
+                        fastpath_mod.note_stat(self.fastpath_stats, "fallbacks")
+                else:
+                    fastpath_mod.note_stat(self.fastpath_stats, "fallbacks")
         for iteration in range(start, instruction.repeat):
             increments: list[tuple[int, int]] = []
             dlast_snapshot = self.dlast
@@ -573,6 +624,47 @@ class Ncore:
                 if self.total_cycles - start_cycles >= budget_cycles:
                     stop_reason = "cycle_budget"
                     break
+                if self.fastpath:
+                    entry = self._fastpath_tables[self.iram.active_bank].get(self.pc)
+                    if (
+                        entry is not None
+                        and entry.kind == "region"
+                        and len(self.loop_stack) < NUM_LOOP_COUNTERS
+                    ):
+                        # Fuse only whole trips that fit in the remaining
+                        # budget; the interpreter finishes any partial trip
+                        # so budget-sliced stepping stays cycle-exact.
+                        remaining = budget_cycles - (self.total_cycles - start_cycles)
+                        trips = min(
+                            entry.trips,
+                            (remaining - entry.prologue_cycles) // entry.cycles_per_trip,
+                        )
+                        if trips > 0 and entry.preflight(self, trips) is None:
+                            done = entry.run(self, trips)
+                            fastpath_mod.note_stat(self.fastpath_stats, "hits")
+                            fastpath_mod.note_stat(
+                                self.fastpath_stats, "fused_trips", done
+                            )
+                            if done < entry.trips:
+                                # Re-enter the loop mid-flight, exactly as if
+                                # the interpreter had just taken the LOOP_END
+                                # branch back for the (done+1)-th trip.
+                                self.loop_stack.append(
+                                    _LoopFrame(
+                                        body_start=self.pc + 1,
+                                        remaining=entry.trips - done,
+                                    )
+                                )
+                                self.pc += 1
+                                if done < trips:  # saturation fallback
+                                    fastpath_mod.note_stat(
+                                        self.fastpath_stats, "fallbacks"
+                                    )
+                            else:
+                                self.pc += entry.length
+                            continue
+                        if trips > 0:
+                            fastpath_mod.note_stat(self.fastpath_stats, "fallbacks")
                 instruction = self.iram.fetch(self.pc)
                 pc = self.pc
                 completed = self._execute_instruction(instruction)
@@ -588,6 +680,10 @@ class Ncore:
                 if self._pending_break is not None:
                     stop_reason = self._pending_break
                     break
+                if self.halted:
+                    # A halt ends the n-step window below naturally; the
+                    # loop condition reports it as "halt".
+                    continue
                 if self.n_step is not None and self.total_cycles >= self._next_step_break:
                     self._next_step_break = self.total_cycles + self.n_step
                     stop_reason = "n_step"
@@ -599,7 +695,10 @@ class Ncore:
             instructions=self.total_instructions - start_instructions,
             issues=self.total_issues - start_issues,
             halted=self.halted,
-            stop_reason=stop_reason if self.halted is False else "halt",
+            # Report the *actual* stop reason: a perf-counter or n-step
+            # break that coincides with a halt must not be masked, or the
+            # debugger misses the breakpoint it configured.
+            stop_reason=stop_reason,
             macs=self.total_macs - start_macs,
             dma_stall_cycles=self.dma_stall_cycles - start_dma_stall,
         )

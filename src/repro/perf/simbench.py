@@ -1,0 +1,137 @@
+"""Simulator throughput measurement: how fast the golden model replays.
+
+The paper's golden model existed to replay full workloads quickly; this
+module measures how close the instruction-level simulator gets, with and
+without the :mod:`repro.ncore.fastpath` tiers.  It owns the Fig. 6 fused
+convolution inner loop used by ``benchmarks/bench_simulator.py`` and the
+fastpath CI guard, and records the ``BENCH_simulator.json`` baseline.
+
+Wall-clock numbers here describe the *simulator*, not the modelled
+hardware — simulated cycle counts are identical either way (the fastpath
+differential tests prove it).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any
+
+import numpy as np
+
+from repro.isa import Instruction, assemble
+from repro.ncore import Ncore
+
+#: Trip count of the Fig. 6 inner loop used for throughput measurement.
+FIG6_ITERATIONS = 512
+
+
+def fig6_program(iterations: int = FIG6_ITERATIONS) -> list[Instruction]:
+    """The Fig. 6 fused convolution inner loop (one MAC issue per trip)."""
+    return assemble(
+        f"""
+        setaddr a0, 0
+        setaddr a3, 0
+        setaddr a5, 0
+        bypass n0, dram[a0]
+        loop {iterations} {{
+          broadcast64 n1, wtram[a3], a5, inc
+          mac.uint8 dlast, n1
+          rotl n0, n0, 64
+        }}
+        halt
+        """
+    )
+
+
+def fig6_machine(
+    iterations: int = FIG6_ITERATIONS, fastpath: bool | None = None
+) -> tuple[Ncore, list[Instruction]]:
+    """A machine with deterministic RAM contents plus the Fig. 6 program."""
+    machine = Ncore(fastpath=fastpath)
+    machine.write_data_ram(0, bytes(np.full(4096, 3, np.uint8)))
+    machine.write_weight_ram(0, bytes(np.full(4096, 2, np.uint8)))
+    return machine, fig6_program(iterations)
+
+
+def measure_inner_loop(
+    iterations: int = FIG6_ITERATIONS,
+    repeats: int = 5,
+    fastpath: bool = True,
+) -> dict[str, float]:
+    """Best-of-``repeats`` wall time executing the Fig. 6 inner loop.
+
+    Returns instructions/sec and cycles/sec of *simulated* work per
+    second of host wall time — the simulator's replay throughput.
+    """
+    machine, program = fig6_machine(iterations, fastpath=fastpath)
+    best = float("inf")
+    result = None
+    for _ in range(max(1, repeats)):
+        machine.reset()
+        start = time.perf_counter()
+        result = machine.execute_program(program)
+        best = min(best, time.perf_counter() - start)
+    assert result is not None
+    return {
+        "seconds": best,
+        "cycles": float(result.cycles),
+        "instructions": float(machine.total_instructions),
+        "cycles_per_second": result.cycles / best,
+        "instructions_per_second": machine.total_instructions / best,
+    }
+
+
+def measure_zoo_end_to_end(
+    model_key: str = "mobilenet_v1",
+    queries: int = 3,
+    replay: bool = True,
+) -> dict[str, float]:
+    """Wall time for repeated end-to-end quantized inference of one zoo
+    model, exercising the tier-2 replay cache when ``replay`` is on.
+
+    Uses a reduced-resolution MobileNet build when available so the
+    baseline stays cheap enough for CI while still walking every layer.
+    """
+    from repro.models import PAPER_CHARACTERISTICS
+    from repro.quantize import calibrate, quantize_graph
+    from repro.runtime.delegate import InferenceSession, compile_model
+
+    info = PAPER_CHARACTERISTICS[model_key]
+    try:
+        graph = info.build(resolution=64)
+    except TypeError:
+        graph = info.build()
+    feeds = info.sample_input(graph, seed=0)
+    model = compile_model(quantize_graph(graph, calibrate(graph, [feeds])))
+    session = InferenceSession(model, replay=replay)
+    start = time.perf_counter()
+    for _ in range(max(1, queries)):
+        session.run(feeds)
+    elapsed = time.perf_counter() - start
+    session.close()
+    return {
+        "seconds": elapsed,
+        "queries": float(queries),
+        "queries_per_second": queries / elapsed,
+    }
+
+
+def record_baseline(path: str, zoo_model: str = "mobilenet_v1") -> dict[str, Any]:
+    """Measure and write the ``BENCH_simulator.json`` baseline."""
+    inner_fast = measure_inner_loop(fastpath=True)
+    inner_interp = measure_inner_loop(fastpath=False)
+    zoo = measure_zoo_end_to_end(zoo_model)
+    baseline: dict[str, Any] = {
+        "inner_loop": {
+            "iterations": FIG6_ITERATIONS,
+            "fastpath": inner_fast,
+            "interpreter": inner_interp,
+            "speedup": inner_interp["seconds"] / inner_fast["seconds"],
+        },
+        "zoo_end_to_end": {"model": zoo_model, **zoo},
+    }
+    with open(path, "w") as handle:
+        json.dump(baseline, handle, indent=2)
+        handle.write("\n")
+    return baseline

@@ -25,7 +25,6 @@ from repro.graph.loadable import CompiledModel
 from repro.ncore.config import NcoreConfig
 from repro.obs.metrics import get_metrics
 from repro.obs.tracer import get_tracer
-from repro.runtime.qkernels import execute_quantized
 from repro.soc.cha import ChaSoc
 
 # Fixed software cost of one delegate transition (framework callback,
@@ -125,10 +124,13 @@ class InferenceSession:
         soc: ChaSoc | None = None,
         owner: str = "inference-session",
         verify: bool = False,
+        replay: bool = True,
     ) -> None:
         from repro.runtime.executor import NcoreExecutor
 
-        self.executor = NcoreExecutor(model, soc=soc, owner=owner, verify=verify)
+        self.executor = NcoreExecutor(
+            model, soc=soc, owner=owner, verify=verify, replay=replay
+        )
 
     @property
     def model(self) -> CompiledModel:
@@ -221,7 +223,9 @@ class InferenceSession:
         tracer = get_tracer()
         with tracer.span("delegate.run", track="delegate", model=self.model.name) as span:
             with tracer.span("delegate.execute_quantized", track="delegate"):
-                outputs = execute_quantized(self.model.graph, feeds)
+                # Routed through the executor so repeated identical queries
+                # hit the tier-2 segment replay cache.
+                outputs = self.executor._run_quantized(feeds)
             timing = RunTiming(
                 ncore_seconds=self.ncore_seconds(),
                 x86_seconds=self.x86_graph_seconds(),

@@ -24,6 +24,8 @@ the wall clock, so every schedule is deterministic.
 
 from __future__ import annotations
 
+import hashlib
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -54,6 +56,8 @@ class NcoreExecutor:
         soc: ChaSoc | None = None,
         owner: str = "ncore-executor",
         verify: bool = True,
+        replay: bool = True,
+        replay_capacity: int = 128,
     ) -> None:
         if verify:
             from repro.analyze import analyze_model, enforce
@@ -67,9 +71,73 @@ class NcoreExecutor:
         self.mapping = self.driver.open(owner)
         self._clock = self.soc.ncore.config.clock_hz
         self._dma_bpc = self.soc.ncore_to_dram_bandwidth() / self._clock
+        # Tier-2 fastpath: repeated queries with identical feeds replay
+        # cached output tensors instead of re-running the quantized
+        # kernels.  Keys bind the segment to the loadable fingerprint
+        # (graph + device config), so a different model or config never
+        # aliases; timing is recomputed per call (it depends on batch
+        # size, not on the cached functional outputs).
+        self.replay = replay
+        self._replay_capacity = max(1, int(replay_capacity))
+        self._replay_cache: OrderedDict[str, dict[str, np.ndarray]] = OrderedDict()
+        self._replay_prefix: str | None = None
+        self.replay_stats = {"hits": 0, "misses": 0}
 
     def close(self) -> None:
         self.driver.close(self.mapping)
+
+    # ------------------------------------------------------------------
+    # Tier-2 segment replay cache
+    # ------------------------------------------------------------------
+
+    def _replay_key(self, feeds: dict[str, np.ndarray]) -> str:
+        if self._replay_prefix is None:
+            from repro.compiler.fingerprint import fingerprint_config, fingerprint_graph
+
+            self._replay_prefix = (
+                fingerprint_graph(self.model.graph)
+                + ":"
+                + fingerprint_config(self.soc.ncore.config)
+            )
+        digest = hashlib.sha256(self._replay_prefix.encode())
+        for name in sorted(feeds):
+            array = np.ascontiguousarray(feeds[name])
+            digest.update(name.encode())
+            digest.update(str(array.dtype).encode())
+            digest.update(str(array.shape).encode())
+            digest.update(array.tobytes())
+        return digest.hexdigest()
+
+    def _replay_lookup(self, key: str) -> dict[str, np.ndarray] | None:
+        cached = self._replay_cache.get(key)
+        metrics = get_metrics()
+        if cached is None:
+            self.replay_stats["misses"] += 1
+            if metrics.enabled:
+                metrics.counter("ncore.replay.misses").inc()
+            return None
+        self._replay_cache.move_to_end(key)
+        self.replay_stats["hits"] += 1
+        if metrics.enabled:
+            metrics.counter("ncore.replay.hits").inc()
+        return {name: value.copy() for name, value in cached.items()}
+
+    def _replay_store(self, key: str, outputs: dict[str, np.ndarray]) -> None:
+        self._replay_cache[key] = {name: value.copy() for name, value in outputs.items()}
+        self._replay_cache.move_to_end(key)
+        while len(self._replay_cache) > self._replay_capacity:
+            self._replay_cache.popitem(last=False)
+
+    def _run_quantized(self, feeds: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+        if not self.replay:
+            return execute_quantized(self.model.graph, feeds)
+        key = self._replay_key(feeds)
+        cached = self._replay_lookup(key)
+        if cached is not None:
+            return cached
+        outputs = execute_quantized(self.model.graph, feeds)
+        self._replay_store(key, outputs)
+        return outputs
 
     # ------------------------------------------------------------------
     # Timing model (the NKL cycle schedules + the core cost model)
@@ -130,7 +198,7 @@ class NcoreExecutor:
         """Run one query: functional outputs plus the timing split."""
         from repro.runtime.delegate import RunResult, RunTiming
 
-        outputs = execute_quantized(self.model.graph, feeds)
+        outputs = self._run_quantized(feeds)
         timing = RunTiming(
             ncore_seconds=self.ncore_seconds(),
             x86_seconds=self.x86_graph_seconds(),
@@ -146,7 +214,7 @@ class NcoreExecutor:
         x86 = self.x86_graph_seconds()
         results = []
         for feeds in batch_feeds:
-            outputs = execute_quantized(self.model.graph, feeds)
+            outputs = self._run_quantized(feeds)
             results.append(RunResult(
                 outputs=outputs,
                 timing=RunTiming(ncore_seconds=per_item_ncore, x86_seconds=x86),

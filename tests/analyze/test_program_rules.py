@@ -130,6 +130,17 @@ class TestStructuralRules:
         bad = _forge(dma, seq=_forge(dma.seq, arg=12))
         assert _find(analyze_program([bad, _halt()]), "isa.dma-descriptor")
 
+    def test_dma_wait_group(self):
+        (wait,) = assemble("dmawait 3")
+        bad = _forge(wait, seq=_forge(wait.seq, arg=5))
+        finding = _find(analyze_program([bad, _halt()]), "isa.dma-wait")
+        assert finding.severity is Severity.ERROR
+        assert finding.location.element == "seq"
+
+    def test_valid_dma_wait_groups_are_clean(self):
+        program = assemble("dmawait 0\ndmawait 1\ndmawait 2\ndmawait 3\nhalt")
+        assert not analyze_program(program).by_rule("isa.dma-wait")
+
     def test_iram_overflow(self):
         program = [_nop()] * NcoreConfig().iram_instructions + [_halt()]
         report = analyze_program(program)

@@ -84,3 +84,33 @@ class TestMachineTask:
     def test_budget_must_be_positive(self):
         with pytest.raises(ValueError):
             MachineTask(Engine(), fresh_machine(), assemble("halt"), budget_cycles=0)
+
+
+class TestOvershoot:
+    def test_fused_repeat_overshoot_is_tracked_not_drifted(self):
+        # The 32-trip repeat block commits whole, so an 8-cycle budget is
+        # overshot — the engine clock must still advance by the cycles
+        # actually consumed.
+        engine = Engine()
+        machine = fresh_machine()
+        task = MachineTask(engine, machine, assemble(PROGRAM), budget_cycles=8)
+        engine.run()
+        assert task.overshoot_cycles > 0
+        assert engine.now == pytest.approx(task.run.cycles / machine.config.clock_hz)
+
+    def test_amortize_shrinks_later_budgets(self):
+        plain = MachineTask(
+            Engine(), fresh_machine(), assemble(PROGRAM), budget_cycles=8
+        )
+        plain.engine.run()
+        engine = Engine()
+        amortized = MachineTask(
+            engine, fresh_machine(), assemble(PROGRAM),
+            budget_cycles=8, amortize_overshoot=True,
+        )
+        engine.run()
+        # Same simulated work either way; repaying the debt just slices it
+        # across more (smaller) turns.
+        assert amortized.run.cycles == plain.run.cycles
+        assert amortized.run.halted
+        assert len(amortized.run.steps) >= len(plain.run.steps)

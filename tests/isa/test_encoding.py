@@ -208,8 +208,11 @@ def _seq_ops(draw):
         return SeqOp(opcode, draw(st.integers(0, 7)), draw(st.integers(-1024, 1023)))
     if opcode is SeqOpcode.LOOP_BEGIN:
         return SeqOp(opcode, 0, draw(st.integers(1, 1023)))
-    if opcode in (SeqOpcode.DMA_START, SeqOpcode.DMA_WAIT):
+    if opcode is SeqOpcode.DMA_START:
         return SeqOp(opcode, draw(st.integers(0, 7)))
+    if opcode is SeqOpcode.DMA_WAIT:
+        # Engine groups above 3 are invalid encodings and raise at construction.
+        return SeqOp(opcode, draw(st.integers(0, 3)))
     if opcode is SeqOpcode.EVENT:
         return SeqOp(opcode, draw(st.integers(0, 15)))
     return SeqOp(opcode)
