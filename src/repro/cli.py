@@ -7,6 +7,10 @@ Commands:
 - ``models``                -- the model zoo with Table V characteristics
 - ``bench <model>``         -- latency/throughput/split for one zoo model
 - ``serve <model>``         -- MLPerf Server scenario on the event engine
+  (``--slo-ms`` arms the SLO monitor; ``--telemetry``/``--prometheus``/
+  ``--harvest``/``--flamegraph`` write the telemetry surfaces)
+- ``top [<model>]``         -- live ``top``-style serving dashboard, or
+  ``--replay frames.jsonl`` to re-render a harvested run
 - ``reproduce``             -- regenerate every paper table/figure in one run
 - ``compile <model|path>``  -- compile through the staged driver; ``--dump-ir``
   prints per-stage IR, ``-O{0,1,2}`` picks the pipeline preset
@@ -102,7 +106,11 @@ def _cmd_bench(args) -> int:
 
 
 def _cmd_serve(args) -> int:
+    import contextlib
+
     from repro.models import PAPER_CHARACTERISTICS
+    from repro.obs.attrib import install_attrib
+    from repro.obs.metrics import MetricsRegistry, install_metrics
     from repro.perf.serving import run_server
     from repro.perf.system import get_system
 
@@ -117,16 +125,33 @@ def _cmd_serve(args) -> int:
     if args.qps is not None and args.qps <= 0:
         print("--qps must be positive", file=sys.stderr)
         return 2
-    result = run_server(
-        get_system(key),
-        qps=args.qps,
-        queries=args.queries,
-        seed=args.seed,
-        max_batch=args.max_batch,
-        max_wait=args.max_wait_us * 1e-6,
-        cores=args.cores,
-        sockets=args.sockets,
-    )
+    slo_seconds = args.slo_ms * 1e-3 if args.slo_ms is not None else None
+    telemetry_interval = args.interval if args.telemetry else None
+    with contextlib.ExitStack() as stack:
+        registry = None
+        if args.telemetry or args.prometheus:
+            registry = stack.enter_context(install_metrics(MetricsRegistry()))
+        tracer = None
+        if args.trace:
+            from repro.obs.tracer import Tracer, install_tracer
+
+            tracer = stack.enter_context(install_tracer(Tracer()))
+        collector = None
+        if args.harvest or args.flamegraph:
+            collector = stack.enter_context(install_attrib())
+        result = run_server(
+            get_system(key),
+            qps=args.qps,
+            queries=args.queries,
+            seed=args.seed,
+            max_batch=args.max_batch,
+            max_wait=args.max_wait_us * 1e-6,
+            cores=args.cores,
+            sockets=args.sockets,
+            slo_latency_seconds=slo_seconds,
+            window_seconds=args.window,
+            telemetry_interval=telemetry_interval,
+        )
     print(f"{PAPER_CHARACTERISTICS[key].display} Server scenario "
           f"({result.queries} queries, seed {result.seed}, "
           f"{result.sockets} socket{'s' if result.sockets > 1 else ''})")
@@ -137,6 +162,83 @@ def _cmd_serve(args) -> int:
     print(f"  latency p99:     {result.p99_latency_ms:10.3f} ms")
     print(f"  mean batch size: {result.mean_batch_size:10.2f} "
           f"(max {result.max_batch}, wait {result.max_wait_seconds * 1e6:.0f} us)")
+    if result.slo is not None:
+        status = "OK" if result.slo["budget_remaining"] >= 0 else "VIOLATED"
+        print(f"  SLO {args.slo_ms:.1f} ms:    "
+              f"attainment {result.slo['attainment'] * 100:6.2f}%  "
+              f"burn {result.slo['burn_rate']:.2f}x  [{status}]")
+    if args.trace:
+        from repro.obs.export import write_chrome_trace
+
+        write_chrome_trace(args.trace, tracer, registry)
+        print(f"  wrote {args.trace} ({len(tracer.spans)} spans, "
+              f"{len(tracer.trace_ids())} query trace trees; "
+              "open at https://ui.perfetto.dev)")
+    if args.telemetry:
+        from repro.obs.top import write_frames
+
+        count = write_frames(args.telemetry, result.frames)
+        print(f"  wrote {args.telemetry} ({count} telemetry frames; "
+              f"view with: repro top --replay {args.telemetry})")
+    if args.prometheus:
+        from repro.obs.prometheus import write_prometheus
+
+        write_prometheus(args.prometheus, registry)
+        print(f"  wrote {args.prometheus} ({len(registry.names())} metrics, "
+              "OpenMetrics text)")
+    if args.harvest:
+        count = collector.write_jsonl(args.harvest)
+        print(f"  wrote {args.harvest} ({count} segment-feature records)")
+    if args.flamegraph:
+        with open(args.flamegraph, "w", encoding="utf-8") as handle:
+            handle.write(collector.collapsed_stacks() + "\n")
+        print(f"  wrote {args.flamegraph} (collapsed stacks for flamegraph.pl)")
+    return 0
+
+
+def _cmd_top(args) -> int:
+    from repro.obs.top import read_frames, render_frames
+
+    ansi = not args.no_ansi
+    if args.replay:
+        try:
+            frames = read_frames(args.replay)
+        except FileNotFoundError:
+            print(f"no such frame file: {args.replay}", file=sys.stderr)
+            return 2
+        if not frames:
+            print(f"no frames in {args.replay}", file=sys.stderr)
+            return 1
+        count = render_frames(frames, sys.stdout, ansi=ansi)
+        print(f"({count} frames from {args.replay})")
+        return 0
+    if not args.model:
+        print("a model key (or --replay FILE) is required", file=sys.stderr)
+        return 2
+    from repro.models import PAPER_CHARACTERISTICS
+    from repro.perf.serving import run_server
+    from repro.perf.system import get_system
+
+    key = _resolve_model_key(args.model)
+    if key is None:
+        print(f"unknown model {args.model!r}; try one of "
+              f"{sorted(PAPER_CHARACTERISTICS)}", file=sys.stderr)
+        return 2
+    slo_seconds = args.slo_ms * 1e-3 if args.slo_ms is not None else None
+    result = run_server(
+        get_system(key),
+        qps=args.qps,
+        queries=args.queries,
+        seed=args.seed,
+        slo_latency_seconds=slo_seconds,
+        window_seconds=args.window,
+        telemetry_interval=args.interval,
+    )
+    count = render_frames(
+        result.frames, sys.stdout, ansi=ansi, max_batch=result.max_batch
+    )
+    print(f"({count} frames, {result.queries} queries, "
+          f"sustained {result.sustained_qps:,.1f} QPS)")
     return 0
 
 
@@ -427,6 +529,9 @@ def _cmd_trace(args) -> int:
         print(f"  wrote {args.metrics_csv} ({len(metrics.names())} metrics)")
     if args.render:
         print(obs.render_tracer(tracer, tracks=["ncore", "delegate.schedule"]))
+        counters = obs.render_counters(metrics)
+        if counters:
+            print(counters)
     return 0
 
 
@@ -461,6 +566,45 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--cores", type=int, default=8, help="x86 cores per socket")
     serve.add_argument("--sockets", type=int, default=1)
     serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--slo-ms", type=float, default=None,
+                       help="arm the SLO monitor with this latency target "
+                            "(MLPerf Server shape: 1%% error budget)")
+    serve.add_argument("--window", type=float, default=None, metavar="SECONDS",
+                       help="rolling-window length for windowed metrics "
+                            "(default: whole run)")
+    serve.add_argument("--interval", type=float, default=0.05, metavar="SECONDS",
+                       help="telemetry frame sampling interval in simulated "
+                            "seconds (with --telemetry; default 0.05)")
+    serve.add_argument("--trace", metavar="FILE",
+                       help="write a Perfetto trace with one causally linked "
+                            "span tree per query")
+    serve.add_argument("--telemetry", metavar="FILE",
+                       help="write JSONL telemetry frames (repro top --replay)")
+    serve.add_argument("--prometheus", metavar="FILE",
+                       help="write the metrics registry as OpenMetrics text")
+    serve.add_argument("--harvest", metavar="FILE",
+                       help="write the JSONL segment-feature harvest "
+                            "(cycle-attribution records)")
+    serve.add_argument("--flamegraph", metavar="FILE",
+                       help="write collapsed stacks (flamegraph.pl input)")
+    top = sub.add_parser(
+        "top", help="top-style serving dashboard (live run or frame replay)"
+    )
+    top.add_argument("model", nargs="?", default=None,
+                     help="zoo model key or unique prefix (omit with --replay)")
+    top.add_argument("--replay", metavar="FILE",
+                     help="render frames from a JSONL file instead of running")
+    top.add_argument("--queries", type=int, default=512)
+    top.add_argument("--qps", type=float, default=None)
+    top.add_argument("--seed", type=int, default=0)
+    top.add_argument("--slo-ms", type=float, default=None,
+                     help="arm the SLO monitor with this latency target")
+    top.add_argument("--window", type=float, default=None, metavar="SECONDS",
+                     help="rolling-window length (default: whole run)")
+    top.add_argument("--interval", type=float, default=0.05, metavar="SECONDS",
+                     help="frame sampling interval in simulated seconds")
+    top.add_argument("--no-ansi", action="store_true",
+                     help="append frames instead of redrawing in place")
     trace = sub.add_parser(
         "trace", help="run one traced inference and write Perfetto JSON"
     )
@@ -526,6 +670,7 @@ _COMMANDS = {
     "reproduce": _cmd_reproduce,
     "bench": _cmd_bench,
     "serve": _cmd_serve,
+    "top": _cmd_top,
     "compile": _cmd_compile,
     "run": _cmd_run,
     "trace": _cmd_trace,

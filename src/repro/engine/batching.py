@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.engine.core import Engine, Event
+from repro.obs.metrics import get_metrics
 
 
 @dataclass
@@ -101,6 +102,11 @@ class BatchQueue:
                 generation = self._generation
                 self.engine.call_after(self.max_wait, self._deadline, generation)
         self._open.append(item)
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.gauge(
+                "engine.batch_queue.depth", labels={"queue": self.name}
+            ).set(self.depth)
         if len(self._open) >= self.max_batch:
             self._seal("size")
         elif self.max_wait == 0 and self._getters:
@@ -124,6 +130,13 @@ class BatchQueue:
         self._open = []
         self._generation += 1
         self.stats.record(batch)
+        metrics = get_metrics()
+        if metrics.enabled:
+            labels = {"queue": self.name}
+            metrics.counter("engine.batch_queue.batches", labels=labels).inc()
+            metrics.histogram(
+                "engine.batch_queue.batch_size", labels=labels
+            ).observe(batch.size)
         if self._getters:
             self._getters.popleft().succeed(batch)
         else:

@@ -268,8 +268,13 @@ class Engine:
         start: float,
         end: float,
         args: dict | None = None,
+        context=None,
     ) -> None:
-        """Record a simulated-time span (seconds) on the installed tracer."""
+        """Record a simulated-time span (seconds) on the installed tracer.
+
+        ``context`` is an optional :class:`repro.obs.context.TraceContext`
+        tying the span into one query's causal tree.
+        """
         from repro.obs.tracer import get_tracer
 
         tracer = get_tracer()
@@ -277,7 +282,7 @@ class Engine:
             tracer.add_span(
                 name, track,
                 start_us=start * 1e6, duration_us=max(0.0, end - start) * 1e6,
-                args=args,
+                args=args, context=context,
             )
 
 

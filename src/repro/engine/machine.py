@@ -67,6 +67,7 @@ class MachineTask:
         name: str = "ncore",
         trace: bool = True,
         amortize_overshoot: bool = False,
+        trace_context=None,
     ) -> None:
         if budget_cycles < 1:
             raise ValueError("budget_cycles must be at least 1")
@@ -83,6 +84,10 @@ class MachineTask:
         # interleaving granularity, which `amortize_overshoot` repays by
         # shrinking later budgets until the average slice matches.
         self.amortize_overshoot = amortize_overshoot
+        # Optional repro.obs.context.TraceContext: when the machine runs
+        # on behalf of one query (or one batch), its step spans join that
+        # query's causal tree in the exported trace.
+        self.trace_context = trace_context
         self.overshoot_cycles = 0
         self.run = MachineRun()
         if program is not None:
@@ -115,6 +120,7 @@ class MachineTask:
             self.run.steps.append(result)
             elapsed = result.cycles / clock_hz
             if self.trace:
+                context = self.trace_context
                 self.engine.trace_span(
                     f"{self.name}.step", "engine.ncore", start, start + elapsed,
                     args={
@@ -122,6 +128,10 @@ class MachineTask:
                         "instructions": result.instructions,
                         "stop_reason": result.stop_reason,
                     },
+                    context=(
+                        context.child(f"step[{len(self.run.steps) - 1}]")
+                        if context is not None else None
+                    ),
                 )
             # Advance the shared clock by the simulated time consumed and
             # yield the engine to every other task scheduled before then.

@@ -14,6 +14,19 @@ Usage::
     obs.write_chrome_trace("run.trace.json", tracer, metrics)
     print(obs.render_tracer(tracer))          # Fig. 10-style text
     print(obs.metrics_csv(metrics))           # flat counter dump
+    print(obs.prometheus_text(metrics))       # OpenMetrics exposition
+
+Serving-grade additions:
+
+- per-query **trace contexts** (:mod:`repro.obs.context`) thread one
+  causal tree per query through every stage span;
+- **windowed metrics and SLO monitoring** (:mod:`repro.obs.window`):
+  rolling percentiles, rates, EWMAs and error-budget burn rates;
+- **cycle attribution** (:mod:`repro.obs.attrib`): retired cycles and
+  DMA bytes mapped back to GIR segment -> op -> execution tier, with a
+  JSONL feature harvest and flamegraph-ready collapsed stacks;
+- the ``repro top`` dashboard (:mod:`repro.obs.top`) over telemetry
+  frames sampled by the serving scenario.
 
 When nothing is installed, every instrumentation point short-circuits on
 the no-op defaults — preserving the paper's "no performance penalty"
@@ -25,6 +38,16 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Iterator
 
+from repro.obs.attrib import (
+    NULL_ATTRIB,
+    AttributionCollector,
+    NullAttribution,
+    get_attrib,
+    install_attrib,
+    segment_features,
+    set_attrib,
+)
+from repro.obs.context import TraceContext, mint_trace
 from repro.obs.export import (
     chrome_trace,
     metrics_csv,
@@ -41,9 +64,11 @@ from repro.obs.metrics import (
     NullMetrics,
     get_metrics,
     install_metrics,
+    labelled_name,
     set_metrics,
 )
-from repro.obs.render import render_bars, render_tracer
+from repro.obs.prometheus import prometheus_text, write_prometheus
+from repro.obs.render import render_bars, render_counters, render_tracer
 from repro.obs.tracer import (
     NULL_TRACER,
     CounterSample,
@@ -54,6 +79,12 @@ from repro.obs.tracer import (
     get_tracer,
     install_tracer,
     set_tracer,
+)
+from repro.obs.window import (
+    Ewma,
+    RateMeter,
+    SloMonitor,
+    WindowedHistogram,
 )
 
 
@@ -71,30 +102,47 @@ def observe(
 
 
 __all__ = [
+    "NULL_ATTRIB",
     "NULL_METRICS",
     "NULL_TRACER",
+    "AttributionCollector",
     "Counter",
     "CounterSample",
+    "Ewma",
     "Gauge",
     "HardwareCounter",
     "Histogram",
     "InstantRecord",
     "MetricsRegistry",
+    "NullAttribution",
     "NullMetrics",
     "NullTracer",
+    "RateMeter",
+    "SloMonitor",
     "SpanRecord",
+    "TraceContext",
     "Tracer",
+    "WindowedHistogram",
     "chrome_trace",
+    "get_attrib",
     "get_metrics",
     "get_tracer",
+    "install_attrib",
     "install_metrics",
     "install_tracer",
+    "labelled_name",
     "metrics_csv",
     "metrics_json",
+    "mint_trace",
     "observe",
+    "prometheus_text",
     "render_bars",
+    "render_counters",
     "render_tracer",
+    "segment_features",
+    "set_attrib",
     "set_metrics",
     "set_tracer",
     "write_chrome_trace",
+    "write_prometheus",
 ]

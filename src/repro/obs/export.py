@@ -43,6 +43,13 @@ def chrome_trace(tracer: Tracer, metrics=None) -> dict[str, Any]:
         return tids[key]
 
     for span in tracer.spans:
+        args = span.args
+        if span.trace_id:
+            args = dict(args)
+            args["trace_id"] = span.trace_id
+            args["span_id"] = span.span_id
+            if span.parent_id:
+                args["parent_span_id"] = span.parent_id
         events.append({
             "name": span.name,
             "cat": span.category or span.track,
@@ -51,8 +58,9 @@ def chrome_trace(tracer: Tracer, metrics=None) -> dict[str, Any]:
             "dur": round(span.duration_us, 3),
             "pid": _pid(span.domain),
             "tid": tid_for(span.domain, span.track),
-            "args": span.args,
+            "args": args,
         })
+    events.extend(_flow_events(tracer, tid_for))
     for instant in tracer.instants:
         events.append({
             "name": instant.name,
@@ -100,6 +108,46 @@ def chrome_trace(tracer: Tracer, metrics=None) -> dict[str, Any]:
         "displayTimeUnit": "ms",
         "otherData": {"clock_hz": tracer.clock_hz},
     }
+
+
+def _flow_events(tracer: Tracer, tid_for) -> list[dict[str, Any]]:
+    """Causal arrows linking each query's span tree (distributed tracing).
+
+    Spans sharing a ``trace_id`` form one query's tree; a flow "s"/"f"
+    pair per causal edge makes Perfetto draw the submit -> queue -> batch
+    -> ncore -> post chain as connected arrows across tracks (and across
+    sockets).  Edges follow ``parent_id`` when it resolves, falling back
+    to start-order chaining so a flat trace still renders as one thread
+    of causality.
+    """
+    flows: list[dict[str, Any]] = []
+    by_trace: dict[str, list] = {}
+    for span in tracer.spans:
+        if span.trace_id:
+            by_trace.setdefault(span.trace_id, []).append(span)
+    flow_id = 0
+    for trace_id in by_trace:
+        spans = sorted(by_trace[trace_id], key=lambda s: (s.start_us, s.end_us))
+        by_span_id = {s.span_id: s for s in spans if s.span_id}
+        for index, span in enumerate(spans):
+            parent = by_span_id.get(span.parent_id) if span.parent_id else None
+            if parent is None or parent is span:
+                if index == 0:
+                    continue
+                parent = spans[index - 1]
+            flow_id += 1
+            common = {"name": trace_id, "cat": "flow", "id": flow_id}
+            flows.append({
+                **common, "ph": "s",
+                "ts": round(min(parent.end_us, max(parent.start_us, span.start_us)), 3),
+                "pid": _pid(parent.domain), "tid": tid_for(parent.domain, parent.track),
+            })
+            flows.append({
+                **common, "ph": "f", "bp": "e",
+                "ts": round(span.start_us, 3),
+                "pid": _pid(span.domain), "tid": tid_for(span.domain, span.track),
+            })
+    return flows
 
 
 def write_chrome_trace(path, tracer: Tracer, metrics=None) -> None:

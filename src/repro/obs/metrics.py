@@ -8,16 +8,59 @@ wraparound breakpointing the paper uses to stop execution "at counter
 wraparound".  Incrementing a hardware counter through the registry goes
 through ``PerfCounter.add`` and therefore still arms breakpoints.
 
+Serving-grade extensions (the fleet-telemetry substrate):
+
+- **Label sets.**  Every metric accepts a ``labels`` mapping
+  (``model=``, ``socket=``, ``stage=``); each distinct label set is its
+  own time series, keyed Prometheus-style as ``name{k="v",...}``.
+- **Windowed series.**  :meth:`MetricsRegistry.windowed_histogram`
+  registers a :class:`repro.obs.window.WindowedHistogram` for rolling
+  percentiles over simulated (or wall) time — see :mod:`repro.obs.window`.
+- **Exact percentiles.**  :meth:`Histogram.percentile` uses the same
+  linear interpolation as ``numpy.percentile``, so a summary derived
+  from the registry is bit-identical to a post-pass over the raw
+  latency array (the serving harness relies on this to keep one source
+  of truth).
+
 Like the tracer, the registry has a zero-cost default: call sites check
 ``get_metrics().enabled`` before doing any bookkeeping.
 """
 
 from __future__ import annotations
 
+import math
 import threading
 from bisect import insort
 from contextlib import contextmanager
-from typing import Any, Iterator
+from typing import Any, Iterator, Mapping
+
+
+def _percentile_linear(ordered: list[float], p: float) -> float:
+    """Linear-interpolation percentile over pre-sorted values.
+
+    Replicates ``numpy.percentile``'s default method bit-for-bit,
+    including its symmetric lerp (interpolating from the upper
+    neighbour when the fraction is >= 0.5), so registry-derived
+    summaries agree exactly with a numpy post-pass over the same data.
+    """
+    if not ordered:
+        return 0.0
+    rank = p / 100 * (len(ordered) - 1)
+    lower = math.floor(rank)
+    upper = min(lower + 1, len(ordered) - 1)
+    fraction = rank - lower
+    low_value, high_value = ordered[lower], ordered[upper]
+    if fraction >= 0.5:
+        return high_value - (high_value - low_value) * (1.0 - fraction)
+    return low_value + (high_value - low_value) * fraction
+
+
+def labelled_name(name: str, labels: Mapping[str, Any] | None) -> str:
+    """The registry key / Prometheus-style series name for a label set."""
+    if not labels:
+        return name
+    inner = ",".join(f'{key}="{labels[key]}"' for key in sorted(labels))
+    return f"{name}{{{inner}}}"
 
 
 class Counter:
@@ -25,10 +68,12 @@ class Counter:
 
     kind = "counter"
 
-    def __init__(self, name: str, description: str = "", unit: str = "") -> None:
+    def __init__(self, name: str, description: str = "", unit: str = "",
+                 labels: Mapping[str, Any] | None = None) -> None:
         self.name = name
         self.description = description
         self.unit = unit
+        self.labels = dict(labels) if labels else {}
         self.value: float = 0
 
     def inc(self, amount: float = 1) -> None:
@@ -37,8 +82,11 @@ class Counter:
         self.value += amount
 
     def snapshot(self) -> dict[str, Any]:
-        return {"kind": self.kind, "value": self.value, "unit": self.unit,
+        snap = {"kind": self.kind, "value": self.value, "unit": self.unit,
                 "description": self.description}
+        if self.labels:
+            snap["labels"] = dict(self.labels)
+        return snap
 
 
 class Gauge:
@@ -46,18 +94,23 @@ class Gauge:
 
     kind = "gauge"
 
-    def __init__(self, name: str, description: str = "", unit: str = "") -> None:
+    def __init__(self, name: str, description: str = "", unit: str = "",
+                 labels: Mapping[str, Any] | None = None) -> None:
         self.name = name
         self.description = description
         self.unit = unit
+        self.labels = dict(labels) if labels else {}
         self.value: float = 0
 
     def set(self, value: float) -> None:
         self.value = value
 
     def snapshot(self) -> dict[str, Any]:
-        return {"kind": self.kind, "value": self.value, "unit": self.unit,
+        snap = {"kind": self.kind, "value": self.value, "unit": self.unit,
                 "description": self.description}
+        if self.labels:
+            snap["labels"] = dict(self.labels)
+        return snap
 
 
 class Histogram:
@@ -65,16 +118,21 @@ class Histogram:
 
     Keeps sorted observations so MLPerf-style percentiles are exact; the
     observation list is capped to bound memory on very long runs (the
-    running count/sum/min/max stay exact).
+    running count/sum/min/max stay exact).  :meth:`percentile` matches
+    ``numpy.percentile``'s default linear interpolation exactly, so a
+    summary derived from a histogram agrees bit-for-bit with a post-pass
+    over the same observations.
     """
 
     kind = "histogram"
 
     def __init__(self, name: str, description: str = "", unit: str = "",
-                 max_observations: int = 65536) -> None:
+                 max_observations: int = 65536,
+                 labels: Mapping[str, Any] | None = None) -> None:
         self.name = name
         self.description = description
         self.unit = unit
+        self.labels = dict(labels) if labels else {}
         self.max_observations = max_observations
         self.count = 0
         self.total = 0.0
@@ -84,6 +142,8 @@ class Histogram:
 
     def observe(self, value: float) -> None:
         value = float(value)
+        if math.isnan(value):
+            raise ValueError(f"histogram {self.name} rejects NaN observations")
         self.count += 1
         self.total += value
         self.min = value if self.min is None else min(self.min, value)
@@ -96,23 +156,29 @@ class Histogram:
         return self.total / self.count if self.count else 0.0
 
     def percentile(self, p: float) -> float:
-        """Exact percentile over retained observations (p in [0, 100])."""
-        if not self._sorted:
-            return 0.0
-        if not 0 <= p <= 100:
+        """Percentile over retained observations, ``numpy``-compatible.
+
+        Linear interpolation between closest ranks (the default method of
+        ``numpy.percentile``); p must be in [0, 100] and not NaN.  An
+        empty histogram reports 0.0.
+        """
+        p = float(p)
+        if math.isnan(p) or not 0 <= p <= 100:
             raise ValueError("percentile must be in [0, 100]")
-        index = min(len(self._sorted) - 1, int(round(p / 100 * (len(self._sorted) - 1))))
-        return self._sorted[index]
+        return _percentile_linear(self._sorted, p)
 
     def snapshot(self) -> dict[str, Any]:
-        return {
+        snap = {
             "kind": self.kind, "unit": self.unit, "description": self.description,
-            "count": self.count, "mean": self.mean,
+            "count": self.count, "mean": self.mean, "sum": self.total,
             "min": self.min if self.min is not None else 0.0,
             "max": self.max if self.max is not None else 0.0,
             "p50": self.percentile(50), "p90": self.percentile(90),
             "p99": self.percentile(99),
         }
+        if self.labels:
+            snap["labels"] = dict(self.labels)
+        return snap
 
 
 class HardwareCounter:
@@ -126,11 +192,12 @@ class HardwareCounter:
     kind = "hardware"
 
     def __init__(self, name: str, perf_counter, description: str = "",
-                 unit: str = "") -> None:
+                 unit: str = "", labels: Mapping[str, Any] | None = None) -> None:
         self.name = name
         self.perf_counter = perf_counter
         self.description = description
         self.unit = unit
+        self.labels = dict(labels) if labels else {}
 
     @property
     def value(self) -> int:
@@ -144,12 +211,15 @@ class HardwareCounter:
         return self.perf_counter.add(amount)
 
     def snapshot(self) -> dict[str, Any]:
-        return {
+        snap = {
             "kind": self.kind, "value": self.perf_counter.value,
             "unit": self.unit, "description": self.description,
             "bits": self.perf_counter.bits, "wrapped": self.perf_counter.wrapped,
             "break_on_wrap": self.perf_counter.break_on_wrap,
         }
+        if self.labels:
+            snap["labels"] = dict(self.labels)
+        return snap
 
 
 class NullMetrics:
@@ -160,64 +230,112 @@ class NullMetrics:
     _NULL_GAUGE = Gauge("null")
     _NULL_HISTOGRAM = Histogram("null", max_observations=0)
 
-    def counter(self, name: str, description: str = "", unit: str = "") -> Counter:
+    def counter(self, name: str, description: str = "", unit: str = "",
+                labels: Mapping[str, Any] | None = None) -> Counter:
         return self._NULL_COUNTER
 
-    def gauge(self, name: str, description: str = "", unit: str = "") -> Gauge:
+    def gauge(self, name: str, description: str = "", unit: str = "",
+              labels: Mapping[str, Any] | None = None) -> Gauge:
         return self._NULL_GAUGE
 
-    def histogram(self, name: str, description: str = "", unit: str = "") -> Histogram:
+    def histogram(self, name: str, description: str = "", unit: str = "",
+                  labels: Mapping[str, Any] | None = None) -> Histogram:
         return self._NULL_HISTOGRAM
 
+    def windowed_histogram(self, name: str, window_seconds: float | None = None,
+                           description: str = "", unit: str = "",
+                           labels: Mapping[str, Any] | None = None):
+        from repro.obs.window import NULL_WINDOWED_HISTOGRAM
+
+        return NULL_WINDOWED_HISTOGRAM
+
     def bind_hardware(self, name: str, perf_counter, description: str = "",
-                      unit: str = "") -> HardwareCounter:
-        return HardwareCounter(name, perf_counter, description, unit)
+                      unit: str = "",
+                      labels: Mapping[str, Any] | None = None) -> HardwareCounter:
+        return HardwareCounter(name, perf_counter, description, unit,
+                               labels=labels)
+
+    def register(self, metric):
+        return metric
 
 
 NULL_METRICS = NullMetrics()
 
 
 class MetricsRegistry:
-    """A namespace of metrics, get-or-create by name."""
+    """A namespace of metrics, get-or-create by (name, label set)."""
 
     enabled = True
 
     def __init__(self) -> None:
-        self._metrics: dict[str, Counter | Gauge | Histogram | HardwareCounter] = {}
+        self._metrics: dict[str, Any] = {}
         self._lock = threading.Lock()
 
-    def _get_or_create(self, cls, name: str, description: str, unit: str, **kwargs):
+    def _get_or_create(self, cls, name: str, description: str, unit: str,
+                       labels: Mapping[str, Any] | None = None, **kwargs):
+        key = labelled_name(name, labels)
         with self._lock:
-            metric = self._metrics.get(name)
+            metric = self._metrics.get(key)
             if metric is None:
-                metric = cls(name, description=description, unit=unit, **kwargs)
-                self._metrics[name] = metric
+                metric = cls(name, description=description, unit=unit,
+                             labels=labels, **kwargs)
+                self._metrics[key] = metric
             elif not isinstance(metric, cls):
                 raise TypeError(
-                    f"metric {name!r} already registered as {metric.kind}"
+                    f"metric {key!r} already registered as {metric.kind}"
                 )
             return metric
 
-    def counter(self, name: str, description: str = "", unit: str = "") -> Counter:
-        return self._get_or_create(Counter, name, description, unit)
+    def counter(self, name: str, description: str = "", unit: str = "",
+                labels: Mapping[str, Any] | None = None) -> Counter:
+        return self._get_or_create(Counter, name, description, unit, labels)
 
-    def gauge(self, name: str, description: str = "", unit: str = "") -> Gauge:
-        return self._get_or_create(Gauge, name, description, unit)
+    def gauge(self, name: str, description: str = "", unit: str = "",
+              labels: Mapping[str, Any] | None = None) -> Gauge:
+        return self._get_or_create(Gauge, name, description, unit, labels)
 
-    def histogram(self, name: str, description: str = "", unit: str = "") -> Histogram:
-        return self._get_or_create(Histogram, name, description, unit)
+    def histogram(self, name: str, description: str = "", unit: str = "",
+                  labels: Mapping[str, Any] | None = None) -> Histogram:
+        return self._get_or_create(Histogram, name, description, unit, labels)
+
+    def windowed_histogram(self, name: str, window_seconds: float | None = None,
+                           description: str = "", unit: str = "",
+                           labels: Mapping[str, Any] | None = None):
+        """Get or create a rolling-window histogram (see ``repro.obs.window``)."""
+        from repro.obs.window import WindowedHistogram
+
+        return self._get_or_create(
+            WindowedHistogram, name, description, unit, labels,
+            window_seconds=window_seconds,
+        )
 
     def bind_hardware(self, name: str, perf_counter, description: str = "",
-                      unit: str = "") -> HardwareCounter:
+                      unit: str = "",
+                      labels: Mapping[str, Any] | None = None) -> HardwareCounter:
         """Expose a hardware PerfCounter through the registry.
 
         Re-binding the same name replaces the view (a fresh machine after
         reset), never the underlying hardware state.
         """
+        key = labelled_name(name, labels)
         with self._lock:
-            view = HardwareCounter(name, perf_counter, description, unit)
-            self._metrics[name] = view
+            view = HardwareCounter(name, perf_counter, description, unit,
+                                   labels=labels)
+            self._metrics[key] = view
             return view
+
+    def register(self, metric):
+        """Adopt an externally constructed metric object.
+
+        Lets a scenario own its metric (a per-run latency histogram, an
+        SLO monitor) while still exposing it through the registry for
+        snapshots/exposition.  Like :meth:`bind_hardware`, re-registering
+        a key replaces the view — the caller's object stays authoritative.
+        """
+        key = labelled_name(metric.name, getattr(metric, "labels", None))
+        with self._lock:
+            self._metrics[key] = metric
+        return metric
 
     # ------------------------------------------------------------------
 

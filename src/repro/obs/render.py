@@ -76,6 +76,35 @@ def render_tracer(tracer: Tracer, width: int = 48, tracks: list[str] | None = No
     return "\n".join(sections) if sections else "(empty trace)"
 
 
+def render_counters(
+    metrics, prefixes: Sequence[str] = ("ncore.replay.", "ncore.fastpath."),
+    title: str = "[counters]",
+) -> str:
+    """Render registry counters matching ``prefixes`` as aligned rows.
+
+    The Fig. 10 companion table: alongside the span timeline, the
+    debug-fabric counters that explain it — by default the segment
+    replay cache (``ncore.replay.hits/misses``) and the trace-fusion
+    fastpath (``ncore.fastpath.*``) tallies.  Returns "" when nothing
+    matches, so callers can print unconditionally.
+    """
+    rows: list[tuple[str, float, str]] = []
+    for name in metrics.names():
+        if not any(name.startswith(prefix) for prefix in prefixes):
+            continue
+        snap = metrics.get(name).snapshot()
+        value = snap.get("value", snap.get("count", 0))
+        rows.append((name, float(value), str(snap.get("unit", ""))))
+    if not rows:
+        return ""
+    lines = [title]
+    width = max(len(name) for name, _, _ in rows)
+    for name, value, unit in rows:
+        suffix = f" {unit}" if unit else ""
+        lines.append(f"  {name:<{width}} {_fmt_quantity(value):>12}{suffix}")
+    return "\n".join(lines)
+
+
 def _fmt_quantity(value: float) -> str:
     if float(value) == int(value):
         return f"{int(value):d}"

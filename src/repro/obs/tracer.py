@@ -33,6 +33,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
+from repro.obs.context import TraceContext
+
 #: Time domain of spans recorded from Python instrumentation.
 WALL = "wall"
 #: Time domain of spans fed from simulator event streams / cycle models.
@@ -50,6 +52,11 @@ class SpanRecord:
     domain: str = WALL
     category: str = ""
     args: dict[str, Any] = field(default_factory=dict)
+    # Distributed-tracing correlation (empty when the span is not part of
+    # a per-query trace tree; see repro.obs.context).
+    trace_id: str = ""
+    span_id: str = ""
+    parent_id: str = ""
 
     @property
     def end_us(self) -> float:
@@ -111,15 +118,18 @@ class NullTracer:
     enabled = False
 
     @contextmanager
-    def span(self, name: str, track: str = "app", **args: Any) -> Iterator[_NullHandle]:
+    def span(self, name: str, track: str = "app",
+             context: TraceContext | None = None, **args: Any) -> Iterator[_NullHandle]:
         yield _NULL_HANDLE
 
     def add_span(self, name: str, track: str, *, start_us: float, duration_us: float,
-                 domain: str = SIM, args: dict | None = None, category: str = "") -> None:
+                 domain: str = SIM, args: dict | None = None, category: str = "",
+                 context: TraceContext | None = None) -> None:
         pass
 
     def add_cycle_span(self, name: str, track: str, start_cycle: int, end_cycle: int,
-                       args: dict | None = None, category: str = "") -> None:
+                       args: dict | None = None, category: str = "",
+                       context: TraceContext | None = None) -> None:
         pass
 
     def instant(self, name: str, track: str = "app", **args: Any) -> None:
@@ -157,7 +167,8 @@ class Tracer:
         return (time.perf_counter() - self._epoch) * 1e6
 
     @contextmanager
-    def span(self, name: str, track: str = "app", **args: Any) -> Iterator[_SpanHandle]:
+    def span(self, name: str, track: str = "app",
+             context: TraceContext | None = None, **args: Any) -> Iterator[_SpanHandle]:
         """Bracket a wall-clock region; the handle adds late attributes."""
         handle = _SpanHandle()
         if args:
@@ -171,6 +182,10 @@ class Tracer:
                 name=name, track=track, start_us=start, duration_us=duration,
                 domain=WALL, args=handle.args,
             )
+            if context is not None:
+                record.trace_id = context.trace_id
+                record.span_id = context.span_id
+                record.parent_id = context.parent_id
             with self._lock:
                 self.spans.append(record)
 
@@ -184,17 +199,23 @@ class Tracer:
     # ------------------------------------------------------------------
 
     def add_span(self, name: str, track: str, *, start_us: float, duration_us: float,
-                 domain: str = SIM, args: dict | None = None, category: str = "") -> None:
+                 domain: str = SIM, args: dict | None = None, category: str = "",
+                 context: TraceContext | None = None) -> None:
         """Record a completed span with explicit timestamps."""
         record = SpanRecord(
             name=name, track=track, start_us=start_us, duration_us=duration_us,
             domain=domain, category=category, args=dict(args or {}),
         )
+        if context is not None:
+            record.trace_id = context.trace_id
+            record.span_id = context.span_id
+            record.parent_id = context.parent_id
         with self._lock:
             self.spans.append(record)
 
     def add_cycle_span(self, name: str, track: str, start_cycle: int, end_cycle: int,
-                       args: dict | None = None, category: str = "") -> None:
+                       args: dict | None = None, category: str = "",
+                       context: TraceContext | None = None) -> None:
         """Record a simulator span stamped in model cycles."""
         scale = 1e6 / self.clock_hz
         merged = {"start_cycle": int(start_cycle), "end_cycle": int(end_cycle)}
@@ -204,7 +225,7 @@ class Tracer:
             name, track,
             start_us=start_cycle * scale,
             duration_us=max(0, end_cycle - start_cycle) * scale,
-            domain=SIM, args=merged, category=category,
+            domain=SIM, args=merged, category=category, context=context,
         )
 
     def counter(self, name: str, value: float, *, ts_us: float | None = None) -> None:
@@ -231,6 +252,19 @@ class Tracer:
 
     def spans_on(self, track: str) -> list[SpanRecord]:
         return [s for s in self.spans if s.track == track]
+
+    def spans_for_trace(self, trace_id: str) -> list[SpanRecord]:
+        """One query's span tree, in start order (distributed tracing)."""
+        spans = [s for s in self.spans if s.trace_id == trace_id]
+        return sorted(spans, key=lambda s: (s.start_us, s.end_us))
+
+    def trace_ids(self) -> list[str]:
+        """Distinct trace ids in order of first appearance."""
+        seen: dict[str, None] = {}
+        for span in self.spans:
+            if span.trace_id:
+                seen.setdefault(span.trace_id, None)
+        return list(seen)
 
 
 # ----------------------------------------------------------------------

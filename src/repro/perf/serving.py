@@ -28,8 +28,11 @@ from typing import Callable, Iterator
 import numpy as np
 
 from repro.engine import BatchQueue, Engine, Resource, WorkerPool
-from repro.obs.metrics import get_metrics
+from repro.obs.attrib import TIER_TIMING_MODEL, get_attrib
+from repro.obs.context import TraceContext, mint_trace
+from repro.obs.metrics import Histogram, get_metrics
 from repro.obs.tracer import get_tracer
+from repro.obs.window import RateMeter, SloMonitor, WindowedHistogram
 from repro.perf.mlperf import JITTER_SIGMA
 from repro.perf.scaling import SERIAL_X86_SHARE
 from repro.soc.multisocket import CROSS_SOCKET_EFFICIENCY
@@ -137,6 +140,10 @@ class ServerResult:
     sockets: int
     seed: int
     latencies_seconds: np.ndarray = field(repr=False, compare=False, default=None)
+    #: SLO snapshot (attainment / burn rate / budget) when a target was set.
+    slo: dict | None = field(repr=False, compare=False, default=None)
+    #: Telemetry frames sampled during the run (``repro top`` input).
+    frames: list = field(repr=False, compare=False, default_factory=list)
 
     @property
     def p99_latency_ms(self) -> float:
@@ -156,6 +163,8 @@ class _Query:
     ncore_done_at: float | None = None
     completed_at: float | None = None
     batch_size: int = 0
+    socket: int = -1
+    trace: TraceContext | None = None
 
 
 class ServerScenario:
@@ -178,6 +187,10 @@ class ServerScenario:
         cores: int = 8,
         sockets: int = 1,
         socket_efficiency: float = 1.0,
+        slo_latency_seconds: float | None = None,
+        error_budget: float = 0.01,
+        window_seconds: float | None = None,
+        telemetry_interval: float | None = None,
     ) -> None:
         if queries < 1:
             raise ValueError("at least one query required")
@@ -211,10 +224,56 @@ class ServerScenario:
         self._records: list[_Query] = []
         self._done = 0
         self._all_done = self.engine.event()
+        # One source of truth for the latency summary: every query is
+        # observed here at completion time, and _result derives the
+        # headline percentiles from these same observations — the summary
+        # and the exported metrics can never disagree.  max_observations
+        # covers the full run, so percentile() is exactly np.percentile.
+        labels = {"model": timing.model_key}
+        self._latency_hist = Histogram(
+            "server.latency_seconds", unit="s", labels=labels,
+            description="end-to-end server latency, observed at completion",
+            max_observations=max(65536, queries),
+        )
+        self._latency_window = WindowedHistogram(
+            "server.latency_seconds.window", unit="s", labels=labels,
+            description="rolling server latency (engine time)",
+            window_seconds=window_seconds,
+        )
+        self._completion_rate = RateMeter(
+            "server.completion_qps", unit="QPS", labels=labels,
+            window_seconds=window_seconds if window_seconds else 1.0,
+            description="completions per second over the rolling window",
+        )
+        self._batch_window = WindowedHistogram(
+            "server.batch_size.window", labels=labels,
+            description="rolling dispatched batch occupancy",
+            window_seconds=window_seconds,
+        )
+        self.slo: SloMonitor | None = None
+        if slo_latency_seconds is not None:
+            self.slo = SloMonitor(
+                "server.slo", target_seconds=slo_latency_seconds,
+                error_budget=error_budget, window_seconds=window_seconds,
+                labels=labels,
+                description="server latency objective (MLPerf-style p99 bound)",
+            )
+        self.telemetry_interval = telemetry_interval
+        self.frames: list[dict] = []
+        self._socket_busy = [0.0] * sockets
+        self._prev_busy = [0.0] * sockets
 
     # ------------------------------------------------------------------
 
     def run(self) -> ServerResult:
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.register(self._latency_hist)
+            metrics.register(self._latency_window)
+            metrics.register(self._completion_rate)
+            metrics.register(self._batch_window)
+            if self.slo is not None:
+                metrics.register(self.slo)
         rng = np.random.default_rng(self.seed)
         interarrival = rng.exponential(1.0 / self.qps, size=self.queries)
         arrivals = np.cumsum(interarrival)
@@ -223,17 +282,27 @@ class ServerScenario:
         self._batch_jitter = rng.lognormal(
             mean=0.0, sigma=JITTER_SIGMA, size=self.queries
         )
+        tracing = get_tracer().enabled
         for index in range(self.queries):
             record = _Query(index=index, arrival=float(arrivals[index]))
+            if tracing:
+                # Deterministic ids (model, sequence): a seeded run
+                # exports byte-identical trace files.
+                record.trace = mint_trace(self.timing.model_key, index)
             self._records.append(record)
             self.engine.call_at(record.arrival, self._admit, record)
         for socket in range(self.sockets):
             self.engine.process(self._ncore_loop(socket), name=f"ncore[{socket}]")
+        if self.telemetry_interval is not None:
+            self.engine.call_after(self.telemetry_interval, self._sample_frame)
         self.engine.run()
         if self._done < self.queries:
             # Tail flush: arrivals stopped but a batch stayed open.
             self.queue.flush()
             self.engine.run()
+        if self.telemetry_interval is not None:
+            # Final frame at drain time, so a replay shows the end state.
+            self._sample_frame()
         return self._result()
 
     # -- per-query admission -------------------------------------------
@@ -265,13 +334,21 @@ class ServerScenario:
             for record in records:
                 record.batch_started_at = started
                 record.batch_size = batch.size
+                record.socket = socket
+            self._socket_busy[socket] += service
             yield engine.timeout(service)
             done = engine.now
+            self._batch_window.observe(batch.size, ts=done)
             engine.trace_span(
                 f"batch[{batch.sequence}]", f"server.ncore[{socket}]",
                 started, done,
                 args={"size": batch.size, "reason": batch.reason,
-                      "assembly_us": batch.assembly_seconds * 1e6},
+                      "assembly_us": batch.assembly_seconds * 1e6,
+                      "socket": socket,
+                      "trace_ids": [
+                          r.trace.trace_id for r in records
+                          if r.trace is not None
+                      ]},
             )
             for record in records:
                 record.ncore_done_at = done
@@ -288,6 +365,13 @@ class ServerScenario:
             yield self.pool.submit(timing.post_parallel)
         record.completed_at = self.engine.now
         self._done += 1
+        now = self.engine.now
+        latency = record.completed_at - record.arrival
+        self._latency_hist.observe(latency)
+        self._latency_window.observe(latency, ts=now)
+        self._completion_rate.add(now)
+        if self.slo is not None:
+            self.slo.observe(latency, ts=now)
         self._trace_query(record)
         if self._done >= self.queries and not self._all_done.triggered:
             self._all_done.succeed()
@@ -297,7 +381,19 @@ class ServerScenario:
         tracer = get_tracer()
         if not tracer.enabled:
             return
+        context = record.trace
+        if context is not None and record.completed_at is not None:
+            # Root span of the query's causal tree: arrival -> completion.
+            self.engine.trace_span(
+                f"query[{record.index}]", "server.queries",
+                record.arrival, record.completed_at,
+                args={"batch_size": record.batch_size,
+                      "socket": record.socket,
+                      "model": self.timing.model_key},
+                context=context,
+            )
         stages = [
+            ("pre", record.arrival, record.enqueued_at),
             ("queue.wait", record.enqueued_at, record.batch_started_at),
             ("ncore", record.batch_started_at, record.ncore_done_at),
             ("x86.post", record.ncore_done_at, record.completed_at),
@@ -307,8 +403,51 @@ class ServerScenario:
                 continue
             self.engine.trace_span(
                 f"query[{record.index}].{stage}", "server.queries", start, end,
-                args={"batch_size": record.batch_size},
+                args={"batch_size": record.batch_size, "stage": stage,
+                      "socket": record.socket},
+                context=context.child(stage) if context is not None else None,
             )
+
+    # -- telemetry frames (the ``repro top`` feed) ----------------------
+
+    def _sample_frame(self) -> None:
+        """Sample one live-telemetry frame; self-reschedules until done."""
+        now = self.engine.now
+        interval = self.telemetry_interval or 1.0
+        busy = list(self._socket_busy)
+        utilization = [
+            min(1.0, max(0.0, (total - previous) / interval))
+            for total, previous in zip(busy, self._prev_busy)
+        ]
+        self._prev_busy = busy
+        frame: dict = {
+            "ts": now,
+            "model": self.timing.model_key,
+            "completed": self._done,
+            "queries": self.queries,
+            "qps": self._completion_rate.rate(now),
+            "p50_ms": self._latency_window.percentile(50, now) * 1e3,
+            "p90_ms": self._latency_window.percentile(90, now) * 1e3,
+            "p99_ms": self._latency_window.percentile(99, now) * 1e3,
+            "queue_depth": self.queue.depth,
+            "batch_occupancy": self._batch_window.mean(now),
+            "socket_util": utilization,
+        }
+        if self.slo is not None:
+            frame["slo_attainment"] = self.slo.attainment
+            frame["slo_burn_rate"] = self.slo.burn_rate(now)
+        metrics = get_metrics()
+        if metrics.enabled and "ncore.replay.hits" in metrics:
+            hits = metrics.get("ncore.replay.hits").value
+            misses = (
+                metrics.get("ncore.replay.misses").value
+                if "ncore.replay.misses" in metrics else 0
+            )
+            total = hits + misses
+            frame["replay_hit_rate"] = hits / total if total else 0.0
+        self.frames.append(frame)
+        if self._done < self.queries and self.telemetry_interval is not None:
+            self.engine.call_after(self.telemetry_interval, self._sample_frame)
 
     # -- results --------------------------------------------------------
 
@@ -324,15 +463,21 @@ class ServerScenario:
         )
         makespan = max(r.completed_at for r in self._records)
         stats = self.queue.stats
+        # Summary percentiles come from the scenario-owned histogram —
+        # the very observations routed to the metrics registry at
+        # completion time, so report and exposition share one source of
+        # truth.  Histogram.percentile matches np.percentile exactly
+        # (linear interpolation, full retention).
+        hist = self._latency_hist
         result = ServerResult(
             model_key=self.timing.model_key,
             queries=self.queries,
             offered_qps=self.qps,
             sustained_qps=self.queries / makespan,
             mean_latency_seconds=float(latencies.mean()),
-            p50_latency_seconds=float(np.percentile(latencies, 50)),
-            p90_latency_seconds=float(np.percentile(latencies, 90)),
-            p99_latency_seconds=float(np.percentile(latencies, 99)),
+            p50_latency_seconds=hist.percentile(50),
+            p90_latency_seconds=hist.percentile(90),
+            p99_latency_seconds=hist.percentile(99),
             mean_batch_size=stats.mean_batch_size,
             max_batch=self.max_batch,
             max_wait_seconds=self.max_wait,
@@ -340,14 +485,13 @@ class ServerScenario:
             sockets=self.sockets,
             seed=self.seed,
             latencies_seconds=latencies,
+            slo=self.slo.snapshot() if self.slo is not None else None,
+            frames=self.frames,
         )
         metrics = get_metrics()
         if metrics.enabled:
             metrics.counter("server.queries").inc(self.queries)
             metrics.gauge("server.sustained_qps", unit="QPS").set(result.sustained_qps)
-            histogram = metrics.histogram("server.latency_seconds", unit="s")
-            for latency in latencies:
-                histogram.observe(float(latency))
         return result
 
 
@@ -369,6 +513,10 @@ def run_server(
     sockets: int = 1,
     socket_efficiency: float | None = None,
     mature_software: bool = False,
+    slo_latency_seconds: float | None = None,
+    error_budget: float = 0.01,
+    window_seconds: float | None = None,
+    telemetry_interval: float | None = None,
 ) -> ServerResult:
     """MLPerf-style Server scenario on the discrete-event engine.
 
@@ -377,6 +525,12 @@ def run_server(
     ``sockets`` engine-managed Ncore executors; p50/p90/p99 latency and
     the sustained QPS come from the engine clock, so two runs with the
     same seed are bit-identical.
+
+    ``slo_latency_seconds`` arms an :class:`~repro.obs.window.SloMonitor`
+    (MLPerf Server's "99% of queries under the bound" shape with the
+    default 1% ``error_budget``); ``telemetry_interval`` samples live
+    frames for ``repro top``; ``window_seconds`` bounds the rolling
+    percentile/rate windows (None = whole run).
     """
     timing = ServingTimingModel.from_system(system, mature_software=mature_software)
     if socket_efficiency is None:
@@ -393,11 +547,25 @@ def run_server(
             timing, qps=qps, queries=queries, seed=seed,
             max_batch=max_batch, max_wait=max_wait,
             cores=cores, sockets=sockets, socket_efficiency=socket_efficiency,
+            slo_latency_seconds=slo_latency_seconds, error_budget=error_budget,
+            window_seconds=window_seconds, telemetry_interval=telemetry_interval,
         )
         result = scenario.run()
         span.set(
             sustained_qps=result.sustained_qps,
             p99_latency_ms=result.p99_latency_ms,
             mean_batch_size=result.mean_batch_size,
+        )
+        if result.slo is not None:
+            span.set(slo_attainment=result.slo["attainment"])
+    attrib = get_attrib()
+    compiled = getattr(system, "compiled", None)
+    if attrib.enabled and compiled is not None:
+        # The analytic serving path never runs kernels, but its cycle
+        # budget still decomposes over the compiled artifact — label the
+        # harvest records with the timing-model tier.
+        attrib.record_model_run(
+            compiled, TIER_TIMING_MODEL,
+            batch=max(1, round(result.mean_batch_size)), count=queries,
         )
     return result

@@ -225,7 +225,10 @@ class InferenceSession:
             with tracer.span("delegate.execute_quantized", track="delegate"):
                 # Routed through the executor so repeated identical queries
                 # hit the tier-2 segment replay cache.
-                outputs = self.executor._run_quantized(feeds)
+                outputs, replayed = self.executor._run_quantized(feeds)
+                self.executor._attribute(
+                    replayed=int(replayed), executed=int(not replayed), batch=1
+                )
             timing = RunTiming(
                 ncore_seconds=self.ncore_seconds(),
                 x86_seconds=self.x86_graph_seconds(),

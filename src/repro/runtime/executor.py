@@ -34,6 +34,13 @@ from repro.engine import BatchQueue, Engine, WorkerPool
 from repro.engine.core import Event
 from repro.engine.resources import Resource
 from repro.graph.loadable import CompiledModel
+from repro.obs.attrib import (
+    TIER_FASTPATH,
+    TIER_INTERPRETER,
+    TIER_REPLAY,
+    get_attrib,
+)
+from repro.obs.context import TraceContext, mint_trace
 from repro.obs.metrics import get_metrics
 from repro.obs.tracer import get_tracer
 from repro.runtime.driver import NcoreKernelDriver
@@ -128,16 +135,43 @@ class NcoreExecutor:
         while len(self._replay_cache) > self._replay_capacity:
             self._replay_cache.popitem(last=False)
 
-    def _run_quantized(self, feeds: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+    def _run_quantized(
+        self, feeds: dict[str, np.ndarray]
+    ) -> tuple[dict[str, np.ndarray], bool]:
+        """Run (or replay) one query; returns (outputs, replayed)."""
         if not self.replay:
-            return execute_quantized(self.model.graph, feeds)
+            return execute_quantized(self.model.graph, feeds), False
         key = self._replay_key(feeds)
         cached = self._replay_lookup(key)
         if cached is not None:
-            return cached
+            return cached, True
         outputs = execute_quantized(self.model.graph, feeds)
         self._replay_store(key, outputs)
-        return outputs
+        return outputs, False
+
+    def _attribute(self, replayed: int, executed: int, batch: int) -> None:
+        """Feed the cycle-attribution collector, tier-labelled.
+
+        Non-replayed queries are attributed to the configured simulator
+        tier (trace-fused fastpath or the pure interpreter); replay hits
+        are labelled ``replay`` so a harvest shows the cycles *avoided*.
+        """
+        attrib = get_attrib()
+        if not attrib.enabled:
+            return
+        from repro.ncore.fastpath import get_fastpath_default
+
+        tier = TIER_FASTPATH if get_fastpath_default() else TIER_INTERPRETER
+        if executed:
+            attrib.record_model_run(
+                self.model, tier, batch=batch, count=executed,
+                dma_bytes_per_cycle=self._dma_bpc,
+            )
+        if replayed:
+            attrib.record_model_run(
+                self.model, TIER_REPLAY, batch=batch, count=replayed,
+                dma_bytes_per_cycle=self._dma_bpc,
+            )
 
     # ------------------------------------------------------------------
     # Timing model (the NKL cycle schedules + the core cost model)
@@ -198,7 +232,8 @@ class NcoreExecutor:
         """Run one query: functional outputs plus the timing split."""
         from repro.runtime.delegate import RunResult, RunTiming
 
-        outputs = self._run_quantized(feeds)
+        outputs, replayed = self._run_quantized(feeds)
+        self._attribute(replayed=int(replayed), executed=int(not replayed), batch=1)
         timing = RunTiming(
             ncore_seconds=self.ncore_seconds(),
             x86_seconds=self.x86_graph_seconds(),
@@ -213,12 +248,17 @@ class NcoreExecutor:
         per_item_ncore = self.ncore_seconds_batched(size)
         x86 = self.x86_graph_seconds()
         results = []
+        replay_hits = 0
         for feeds in batch_feeds:
-            outputs = self._run_quantized(feeds)
+            outputs, replayed = self._run_quantized(feeds)
+            replay_hits += int(replayed)
             results.append(RunResult(
                 outputs=outputs,
                 timing=RunTiming(ncore_seconds=per_item_ncore, x86_seconds=x86),
             ))
+        self._attribute(
+            replayed=replay_hits, executed=size - replay_hits, batch=size
+        )
         return results
 
 
@@ -237,6 +277,7 @@ class QueryTicket:
     batch_size: int = 0
     result: object | None = None         # delegate.RunResult once done
     done_event: Event | None = field(repr=False, default=None)
+    trace: TraceContext | None = field(repr=False, default=None)
 
     @property
     def done(self) -> bool:
@@ -320,10 +361,17 @@ class EngineExecutor:
     # ------------------------------------------------------------------
 
     def submit(self, feeds: dict[str, np.ndarray], owner: str = "anonymous") -> QueryTicket:
+        index = len(self.tickets)
         ticket = QueryTicket(
-            index=len(self.tickets), owner=owner,
+            index=index, owner=owner,
             submitted_at=self.engine.now, feeds=feeds,
             done_event=self.engine.event(),
+            # Trace ids are minted from (model, sequence) — deterministic,
+            # so a seeded run exports byte-identical trace files.
+            trace=(
+                mint_trace(self.executor.model.name, index)
+                if get_tracer().enabled else None
+            ),
         )
         self.tickets.append(ticket)
         self.engine.process(self._query_body(ticket), name=f"query[{ticket.index}]")
@@ -369,7 +417,10 @@ class EngineExecutor:
             engine.trace_span(
                 f"batch[{batch.sequence}]", "engine.ncore", started, ncore_done,
                 args={"size": batch.size, "reason": batch.reason,
-                      "assembly_us": batch.assembly_seconds * 1e6},
+                      "assembly_us": batch.assembly_seconds * 1e6,
+                      "trace_ids": [
+                          t.trace.trace_id for t in tickets if t.trace is not None
+                      ]},
             )
             for ticket, result in zip(tickets, results):
                 ticket.ncore_done_at = ncore_done
@@ -388,16 +439,32 @@ class EngineExecutor:
         self._trace_ticket(ticket)
         metrics = get_metrics()
         if metrics.enabled:
+            model = self.executor.model.name
             metrics.counter("engine.queries_completed").inc()
             metrics.histogram("engine.latency_seconds", unit="s").observe(
                 ticket.latency_seconds
             )
+            # Labelled, windowed view of the same signal: rolling
+            # percentiles per model, in engine (simulated) time.
+            metrics.windowed_histogram(
+                "engine.latency_seconds", unit="s", labels={"model": model}
+            ).observe(ticket.latency_seconds, ts=self.engine.now)
         ticket.done_event.succeed(result)
 
     def _trace_ticket(self, ticket: QueryTicket) -> None:
         tracer = get_tracer()
         if not tracer.enabled:
             return
+        context = ticket.trace
+        if context is not None and ticket.completed_at is not None:
+            # Root span of the query's causal tree: submit -> completion.
+            self.engine.trace_span(
+                f"query[{ticket.index}]", "engine.queries",
+                ticket.submitted_at, ticket.completed_at,
+                args={"owner": ticket.owner, "batch_size": ticket.batch_size,
+                      "model": self.executor.model.name},
+                context=context,
+            )
         spans = [
             ("pre", ticket.submitted_at, ticket.enqueued_at),
             ("queue.wait", ticket.enqueued_at, ticket.batch_started_at),
@@ -409,7 +476,9 @@ class EngineExecutor:
                 continue
             self.engine.trace_span(
                 f"query[{ticket.index}].{stage}", "engine.queries", start, end,
-                args={"owner": ticket.owner, "batch_size": ticket.batch_size},
+                args={"owner": ticket.owner, "batch_size": ticket.batch_size,
+                      "stage": stage},
+                context=context.child(stage) if context is not None else None,
             )
 
     # ------------------------------------------------------------------

@@ -100,3 +100,81 @@ class TestHardwareCounter:
         # The view tracks the live machine counter.
         machine.perf_counters["macs"].add(4096)
         assert registry.get("ncore.hw.macs").value == 4096
+
+
+class TestHistogramPercentileEdges:
+    def test_empty_histogram_reports_zero(self):
+        assert obs.Histogram("lat").percentile(99) == 0.0
+
+    def test_single_sample_is_every_percentile(self):
+        histogram = obs.Histogram("lat")
+        histogram.observe(7.5)
+        for p in (0, 50, 99, 100):
+            assert histogram.percentile(p) == 7.5
+
+    def test_p0_and_p100_are_min_and_max(self):
+        histogram = obs.Histogram("lat")
+        for value in (3.0, 1.0, 2.0):
+            histogram.observe(value)
+        assert histogram.percentile(0) == 1.0
+        assert histogram.percentile(100) == 3.0
+
+    def test_matches_numpy_bit_for_bit(self):
+        import numpy as np
+
+        rng = np.random.default_rng(11)
+        values = rng.exponential(1.0, size=257)
+        histogram = obs.Histogram("lat")
+        for value in values:
+            histogram.observe(float(value))
+        for p in (0, 12.5, 50, 90, 99, 99.9, 100):
+            assert histogram.percentile(p) == float(np.percentile(values, p))
+
+    def test_rejects_nan_observation(self):
+        with pytest.raises(ValueError, match="NaN"):
+            obs.Histogram("lat").observe(float("nan"))
+
+    def test_rejects_out_of_range_percentile(self):
+        histogram = obs.Histogram("lat")
+        histogram.observe(1.0)
+        for bad in (-1, 101, float("nan")):
+            with pytest.raises(ValueError):
+                histogram.percentile(bad)
+
+
+class TestLabelledMetrics:
+    def test_labels_create_distinct_series(self):
+        registry = obs.MetricsRegistry()
+        registry.counter("hits", labels={"socket": 0}).inc(1)
+        registry.counter("hits", labels={"socket": 1}).inc(5)
+        assert registry.get('hits{socket="0"}').value == 1
+        assert registry.get('hits{socket="1"}').value == 5
+
+    def test_labelled_name_is_order_insensitive(self):
+        from repro.obs.metrics import labelled_name
+
+        assert (labelled_name("m", {"b": 1, "a": 2})
+                == labelled_name("m", {"a": 2, "b": 1}))
+        assert labelled_name("m", None) == "m"
+
+    def test_snapshot_carries_labels(self):
+        registry = obs.MetricsRegistry()
+        registry.gauge("depth", labels={"model": "resnet"}).set(3)
+        snap = registry.snapshot()['depth{model="resnet"}']
+        assert snap["labels"] == {"model": "resnet"}
+
+    def test_hardware_wraparound_under_labelled_registry(self):
+        # Satellite: the wrap semantics of IV-F survive when the same
+        # registry also hosts labelled software series.
+        registry = obs.MetricsRegistry()
+        registry.counter("sw.events", labels={"socket": 0}).inc(3)
+        perf_counter = PerfCounter("macs", bits=8)
+        perf_counter.configure(offset=254)
+        view = registry.bind_hardware("hw.macs", perf_counter,
+                                      labels={"socket": 0})
+        view.inc(4)  # 254 + 4 wraps an 8-bit counter to 2
+        assert view.wrapped
+        assert view.value == 2
+        snap = registry.snapshot()
+        assert snap['hw.macs{socket="0"}']["wrapped"] is True
+        assert snap['sw.events{socket="0"}']["value"] == 3

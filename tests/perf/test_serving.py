@@ -144,3 +144,96 @@ class TestValidation:
             ServerScenario(timing, qps=100.0, queries=10, sockets=0)
         with pytest.raises(ValueError, match="core"):
             ServerScenario(timing, qps=100.0, queries=10, cores=0)
+
+
+class TestObservability:
+    def test_registered_histogram_sees_every_completion(self, resnet):
+        from repro import obs
+
+        with obs.install_metrics(obs.MetricsRegistry()) as registry:
+            result = run_server(resnet, queries=64, seed=1)
+            name = f'server.latency_seconds{{model="resnet50_v15"}}'
+            histogram = registry.get(name)
+        assert histogram.count == 64
+        assert result.p99_latency_seconds == histogram.percentile(99)
+
+    def test_summary_percentiles_match_numpy(self, resnet):
+        from repro import obs
+
+        with obs.install_metrics(obs.MetricsRegistry()):
+            result = run_server(resnet, queries=128, seed=3)
+        for p, got in ((50, result.p50_latency_seconds),
+                       (90, result.p90_latency_seconds),
+                       (99, result.p99_latency_seconds)):
+            assert got == float(np.percentile(result.latencies_seconds, p))
+
+    def test_metrics_do_not_change_the_simulation(self, resnet):
+        from repro import obs
+
+        bare = run_server(resnet, queries=64, seed=5)
+        with obs.install_metrics(obs.MetricsRegistry()):
+            with obs.install_tracer(obs.Tracer()):
+                observed = run_server(resnet, queries=64, seed=5,
+                                      slo_latency_seconds=0.1,
+                                      telemetry_interval=0.01)
+        assert np.asarray(bare.latencies_seconds).tobytes() == \
+            np.asarray(observed.latencies_seconds).tobytes()
+
+    def test_slo_monitor_reports_through_the_result(self, resnet):
+        from repro import obs
+
+        with obs.install_metrics(obs.MetricsRegistry()):
+            generous = run_server(resnet, queries=64, seed=0,
+                                  slo_latency_seconds=10.0)
+            hopeless = run_server(resnet, queries=64, seed=0,
+                                  slo_latency_seconds=1e-9)
+        assert generous.slo["attainment"] == 1.0
+        assert generous.slo["budget_remaining"] > 0
+        assert hopeless.slo["attainment"] == 0.0
+        assert hopeless.slo["budget_remaining"] < 0
+
+    def test_no_slo_means_no_slo_field(self, resnet):
+        result = run_server(resnet, queries=32, seed=0)
+        assert result.slo is None
+
+    def test_telemetry_frames_sample_the_run(self, resnet):
+        from repro import obs
+
+        with obs.install_metrics(obs.MetricsRegistry()):
+            result = run_server(resnet, queries=64, seed=2,
+                                telemetry_interval=0.005)
+        assert len(result.frames) >= 2
+        timestamps = [frame["ts"] for frame in result.frames]
+        assert timestamps == sorted(timestamps)
+        final = result.frames[-1]
+        assert final["completed"] == 64
+        assert final["model"] == "resnet50_v15"
+        assert 0.0 <= final["slo_attainment"] if "slo_attainment" in final else True
+        assert len(final["socket_util"]) == 1
+        assert all(0.0 <= u <= 1.0 for u in final["socket_util"])
+
+    def test_frames_are_seed_deterministic(self, resnet):
+        from repro import obs
+
+        def frames():
+            with obs.install_metrics(obs.MetricsRegistry()):
+                return run_server(resnet, queries=64, seed=4,
+                                  telemetry_interval=0.01).frames
+
+        assert frames() == frames()
+
+    def test_queries_get_causally_linked_trace_trees(self, resnet):
+        from repro import obs
+
+        with obs.install_tracer(obs.Tracer()) as tracer:
+            run_server(resnet, queries=16, seed=0)
+        trace_ids = tracer.trace_ids()
+        assert len(trace_ids) == 16
+        assert trace_ids[0] == "resnet50_v15/q000000"
+        spans = tracer.spans_for_trace(trace_ids[0])
+        span_ids = {span.span_id for span in spans}
+        assert "root" in span_ids
+        assert {"pre", "queue.wait", "ncore", "x86.post"} <= span_ids
+        for span in spans:
+            if span.span_id != "root":
+                assert span.parent_id == "root"

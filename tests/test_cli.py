@@ -205,3 +205,62 @@ class TestReproduce:
         assert "Ncore (simulated)" in out
         assert "NVIDIA AGX Xavier" in out
         assert "Server scenario" in out
+
+
+class TestServeTelemetry:
+    def test_slo_flag_prints_status(self, capsys):
+        assert main(["serve", "mobilenet_v1", "--queries", "64",
+                     "--slo-ms", "1000"]) == 0
+        out = capsys.readouterr().out
+        assert "SLO" in out
+        assert "OK" in out
+
+    def test_artifact_flags_write_files(self, capsys, tmp_path):
+        trace = tmp_path / "serve.trace.json"
+        frames = tmp_path / "frames.jsonl"
+        prom = tmp_path / "metrics.prom"
+        harvest = tmp_path / "harvest.jsonl"
+        flame = tmp_path / "flame.txt"
+        assert main([
+            "serve", "mobilenet_v1", "--queries", "32",
+            "--trace", str(trace), "--telemetry", str(frames),
+            "--prometheus", str(prom), "--harvest", str(harvest),
+            "--flamegraph", str(flame),
+        ]) == 0
+        capsys.readouterr()
+        import json
+        events = json.loads(trace.read_text())["traceEvents"]
+        assert any(e.get("ph") == "s" for e in events)
+        assert frames.read_text().strip()
+        assert "server_latency_seconds" in prom.read_text()
+        first = json.loads(harvest.read_text().splitlines()[0])
+        assert first["tier"] == "timing-model"
+        assert flame.read_text().strip()
+
+
+class TestTop:
+    def test_live_run_renders_frames(self, capsys):
+        assert main(["top", "mobilenet_v1", "--queries", "64",
+                     "--no-ansi"]) == 0
+        out = capsys.readouterr().out
+        assert "repro top" in out
+        assert "p99" in out
+        assert "sockets" in out
+
+    def test_replay_round_trip(self, capsys, tmp_path):
+        frames = tmp_path / "frames.jsonl"
+        assert main(["serve", "mobilenet_v1", "--queries", "32",
+                     "--telemetry", str(frames)]) == 0
+        capsys.readouterr()
+        assert main(["top", "--replay", str(frames), "--no-ansi"]) == 0
+        out = capsys.readouterr().out
+        assert "repro top" in out
+        assert "mobilenet_v1" in out
+
+    def test_replay_missing_file_exits_2(self, capsys, tmp_path):
+        assert main(["top", "--replay", str(tmp_path / "nope.jsonl")]) == 2
+        assert "no such" in capsys.readouterr().err.lower()
+
+    def test_no_model_and_no_replay_exits_2(self, capsys):
+        assert main(["top"]) == 2
+        assert "model" in capsys.readouterr().err
