@@ -53,4 +53,4 @@ def test_fig13_expected_scaling(benchmark, capsys):
     # Every expected series is monotone non-decreasing in cores.
     for row in rows:
         values = row[1:]
-        assert all(a <= b for a, b in zip(values, values[1:]))
+        assert all(a <= b for a, b in zip(values, values[1:], strict=False))

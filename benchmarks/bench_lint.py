@@ -20,6 +20,7 @@ from repro.runtime import compile_model
 
 MODEL_KEY = "resnet50_v15"
 ANALYSIS_BUDGET_SECONDS = 5.0
+HAZARD_BUDGET_SECONDS = 1.0
 REPEATS = 3
 
 
@@ -42,6 +43,36 @@ def _min_analysis_seconds(compiled):
     return best, report
 
 
+def _min_hazard_seconds(compiled):
+    from repro.analyze import analyze_loadable_hazards
+
+    best = float("inf")
+    findings = []
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        findings = [
+            finding
+            for _, loadable in sorted(compiled.loadables.items())
+            for finding in analyze_loadable_hazards(compiled.graph, loadable)
+        ]
+        best = min(best, time.perf_counter() - start)
+    return best, findings
+
+
+def test_resnet50_hazard_pass_under_budget():
+    # The happens-before pass alone, over every lowered segment: it runs
+    # inside the strict compile gate, so it must stay a small fraction of
+    # the full analyzer budget.
+    compiled, _ = _compiled_resnet()
+    seconds, findings = _min_hazard_seconds(compiled)
+    assert not findings, "\n".join(d.render() for d in findings)
+    assert seconds < HAZARD_BUDGET_SECONDS, (
+        f"hazard analysis of {MODEL_KEY} takes {seconds:.2f} s "
+        f"(budget {HAZARD_BUDGET_SECONDS:.1f} s); the interval sweep has "
+        f"become super-linear in the prefetch schedule"
+    )
+
+
 def test_resnet50_full_stack_under_budget():
     compiled, _ = _compiled_resnet()
     seconds, report = _min_analysis_seconds(compiled)
@@ -56,6 +87,9 @@ def test_resnet50_full_stack_under_budget():
 if __name__ == "__main__":
     compiled, compile_seconds = _compiled_resnet()
     seconds, report = _min_analysis_seconds(compiled)
+    hazard_seconds, findings = _min_hazard_seconds(compiled)
     print(f"compile (unverified):  {compile_seconds:8.3f} s")
     print(f"full-stack analysis:   {seconds:8.3f} s "
           f"({len(report)} finding(s), ok={report.ok})")
+    print(f"hazard pass alone:     {hazard_seconds:8.3f} s "
+          f"({len(findings)} finding(s))")

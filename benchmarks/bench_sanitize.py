@@ -1,0 +1,146 @@
+"""Guard for the sanitizer zero-cost contract.
+
+``Ncore(sanitize=...)`` follows the observability discipline: when no
+sanitizer is armed, every hook site in the machine and the DMA engines
+reduces to one ``is not None`` check.  Three assertions keep that true:
+
+- a machine that had a sanitizer armed and then disarmed must run the
+  Fig. 6 workload within 2% of a machine that never saw one (catches
+  residue left behind by ``arm_sanitizer(False)``),
+- the null-path guard itself must cost <2% of one workload run even if
+  every run touched 500 hook sites (catches unguarded work ahead of the
+  ``is not None`` check), and
+- sanitizer-off runs stay bit-identical to a plain machine.
+
+Run:  python -m pytest benchmarks/bench_sanitize.py -q
+"""
+
+import time
+
+from bench_simulator import build_machine
+
+from repro.sanitize import state_digest
+
+REPEATS = 30
+OVERHEAD_BUDGET = 0.02
+# Workload executions per timed sample: a single run is ~2 ms, too small
+# to resolve a 2% budget against scheduler/timer jitter in CI containers.
+RUNS_PER_SAMPLE = 5
+
+
+def _min_seconds(fn, repeats=REPEATS):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _toggled_machine():
+    machine, program = build_machine(fastpath=False)
+    machine.arm_sanitizer(True)
+    machine.arm_sanitizer(False)
+    return machine, program
+
+
+def _timed_pair():
+    """Interleaved min-of-repeats: never-armed vs armed-then-disarmed.
+
+    Both sides run the identical null path, so any paired ratio above
+    the budget means disarming left state behind (a stale engine hook,
+    a forced-off fast path, per-access bookkeeping).
+    """
+    plain, program = build_machine(fastpath=False)
+    toggled, _ = _toggled_machine()
+
+    def run(machine):
+        machine.reset()
+        machine.execute_program(program)
+
+    run(plain)
+    run(toggled)
+    best_ratio = float("inf")
+    plain_best = float("inf")
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        for _ in range(RUNS_PER_SAMPLE):
+            run(plain)
+        plain_sample = time.perf_counter() - start
+        start = time.perf_counter()
+        for _ in range(RUNS_PER_SAMPLE):
+            run(toggled)
+        toggled_sample = time.perf_counter() - start
+        best_ratio = min(best_ratio, toggled_sample / plain_sample)
+        plain_best = min(plain_best, plain_sample)
+    return plain_best, plain_best * best_ratio
+
+
+def test_disarmed_machine_overhead_under_budget():
+    plain_best, toggled_best = _timed_pair()
+    overhead = toggled_best / plain_best - 1.0
+    assert overhead < OVERHEAD_BUDGET, (
+        f"a disarmed sanitizer costs {overhead:.1%} on the simulator "
+        f"workload (never-armed {plain_best * 1e3:.3f} ms, toggled "
+        f"{toggled_best * 1e3:.3f} ms); arm_sanitizer(False) left residue"
+    )
+
+
+def test_null_guard_cost_negligible():
+    machine, program = build_machine(fastpath=False)
+
+    def guards(n=10_000):
+        for _ in range(n):
+            if machine.sanitizer is not None:
+                raise AssertionError("sanitizer unexpectedly armed")
+
+    def run():
+        machine.reset()
+        machine.execute_program(program)
+
+    run()
+    guard_cost = _min_seconds(guards) / 10_000
+    workload = _min_seconds(run, repeats=10)
+    # Even if every run touched 500 hook sites, the null path must stay
+    # under the budget.
+    assert guard_cost * 500 < OVERHEAD_BUDGET * workload, (
+        f"null sanitizer guard costs {guard_cost * 1e9:.0f} ns/site "
+        f"against a {workload * 1e3:.3f} ms workload"
+    )
+
+
+def test_sanitize_off_is_bit_identical():
+    plain, program = build_machine(fastpath=False)
+    toggled, _ = _toggled_machine()
+    plain.execute_program(program)
+    toggled.execute_program(program)
+    assert state_digest(plain) == state_digest(toggled)
+
+
+def test_armed_run_completes_and_checks_accesses():
+    # Informational companion: the armed path is allowed to be slow, but
+    # it must observe the workload and stay clean on a correct program.
+    machine, program = build_machine(fastpath=False)
+    sanitizer = machine.arm_sanitizer(True)
+    # The fixture staged the RAMs before the sanitizer existed; repeat
+    # the host writes so the shadow sees the initialization.
+    machine.write_data_ram(0, b"\x03" * 4096)
+    machine.write_weight_ram(0, b"\x02" * 4096)
+    result = machine.execute_program(program)
+    assert result.halted
+    assert sanitizer.ok
+    assert sanitizer.stats["reads_checked"] > 0
+
+
+if __name__ == "__main__":
+    plain_best, toggled_best = _timed_pair()
+    print(f"workload (never armed):     {plain_best * 1e3:8.3f} ms")
+    print(f"workload (armed->disarmed): {toggled_best * 1e3:8.3f} ms "
+          f"({toggled_best / plain_best - 1.0:+.2%})")
+    machine, program = build_machine(fastpath=False)
+    machine.arm_sanitizer(True)
+    armed = _min_seconds(
+        lambda: (machine.reset(), machine.execute_program(program)), repeats=5
+    )
+    print(f"workload (armed):           {armed * 1e3:8.3f} ms "
+          f"({armed / (plain_best / RUNS_PER_SAMPLE) - 1.0:+.1%})")

@@ -26,7 +26,7 @@ def render_table(title: str, header: list[str], rows: list[list]) -> str:
         for i in range(len(header))
     ]
     def line(cells):
-        return "  ".join(str(c).rjust(w) for c, w in zip(cells, widths))
+        return "  ".join(str(c).rjust(w) for c, w in zip(cells, widths, strict=False))
     bar = "-" * (sum(widths) + 2 * (len(widths) - 1))
     return "\n".join([title, bar, line(header), bar, *(line(r) for r in rows), bar])
 

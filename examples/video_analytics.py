@@ -50,7 +50,7 @@ def main() -> None:
         classes = outputs["detection_classes"]
         kept = int((scores > 0).sum())
         top = ", ".join(
-            f"cls{int(c)}@{s:.2f}" for s, c in zip(scores[:3], classes[:3]) if s > 0
+            f"cls{int(c)}@{s:.2f}" for s, c in zip(scores[:3], classes[:3], strict=True) if s > 0
         )
         print(f"   frame {index}: {kept} detections  [{top}]")
 

@@ -21,6 +21,14 @@ from repro.analyze.diagnostics import (
     enforce,
 )
 from repro.analyze.gir_rules import analyze_graph
+from repro.analyze.hazard import (
+    HazardGraph,
+    analyze_loadable_hazards,
+    analyze_program_hazards,
+    build_loadable_hazard_graph,
+    build_program_hazard_graph,
+    render_dot,
+)
 from repro.analyze.loadable_rules import analyze_compiled_model, analyze_loadable
 from repro.analyze.program_rules import analyze_program
 from repro.analyze.render import render_json, render_text
@@ -49,11 +57,17 @@ __all__ = [
     "RULES",
     "Severity",
     "enforce",
+    "HazardGraph",
     "analyze_graph",
     "analyze_loadable",
+    "analyze_loadable_hazards",
     "analyze_compiled_model",
     "analyze_model",
     "analyze_program",
+    "analyze_program_hazards",
+    "build_loadable_hazard_graph",
+    "build_program_hazard_graph",
+    "render_dot",
     "render_json",
     "render_text",
 ]

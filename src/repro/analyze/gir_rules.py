@@ -181,7 +181,7 @@ def check_types(graph: Graph) -> list[Diagnostic]:
                 artifact=name, element=node.name,
             ))
             continue
-        for position, (out_name, expect) in enumerate(zip(node.outputs, inferred)):
+        for position, (out_name, expect) in enumerate(zip(node.outputs, inferred, strict=False)):
             declared = graph.tensor(out_name).type
             if declared.shape != expect.shape:
                 findings.append(diag(

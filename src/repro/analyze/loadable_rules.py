@@ -16,6 +16,8 @@ from repro.graph.loadable import CompiledModel, NcoreLoadable
 from repro.graph.planner import Prefetch, RowRange, _live_ranges
 from repro.ncore.config import NcoreConfig
 
+from repro.analyze.hazard import analyze_loadable_hazards
+
 from repro.analyze.diagnostics import (
     AnalysisReport,
     Diagnostic,
@@ -299,6 +301,9 @@ def analyze_loadable(
     report.extend(_check_prefetches(loadable))
     if loadable.kernels:  # empty before lowering finishes; nothing to check
         report.extend(_check_kernels(loadable))
+    # Whole-schedule happens-before analysis (hazard.* rules) rides the
+    # same compile gate as the pairwise checks above.
+    report.extend(analyze_loadable_hazards(graph, loadable, config))
     if suppress:
         report = report.suppress(suppress)
     return report

@@ -245,20 +245,20 @@ def _check_seq(
 ) -> list[Diagnostic]:
     findings: list[Diagnostic] = []
     seq = instruction.seq
-    if seq.opcode in (SeqOpcode.SET_ADDR, SeqOpcode.ADD_ADDR):
-        if not 0 <= seq.arg < NUM_ADDR_REGS:
-            findings.append(diag(
-                REGISTER,
-                f"sequencer address register a{seq.arg} exceeds {NUM_ADDR_REGS}",
-                artifact=name, element="seq", index=index,
-            ))
-    if seq.opcode is SeqOpcode.DMA_START:
-        if not 0 <= seq.arg < NUM_DMA_DESCRIPTORS:
-            findings.append(diag(
-                DMA_DESCRIPTOR,
-                f"DMA descriptor {seq.arg} exceeds {NUM_DMA_DESCRIPTORS} slots",
-                artifact=name, element="seq", index=index,
-            ))
+    if (seq.opcode in (SeqOpcode.SET_ADDR, SeqOpcode.ADD_ADDR)
+            and not 0 <= seq.arg < NUM_ADDR_REGS):
+        findings.append(diag(
+            REGISTER,
+            f"sequencer address register a{seq.arg} exceeds {NUM_ADDR_REGS}",
+            artifact=name, element="seq", index=index,
+        ))
+    if (seq.opcode is SeqOpcode.DMA_START
+            and not 0 <= seq.arg < NUM_DMA_DESCRIPTORS):
+        findings.append(diag(
+            DMA_DESCRIPTOR,
+            f"DMA descriptor {seq.arg} exceeds {NUM_DMA_DESCRIPTORS} slots",
+            artifact=name, element="seq", index=index,
+        ))
     if seq.opcode is SeqOpcode.DMA_WAIT and seq.arg not in SeqOp.DMA_WAIT_GROUPS:
         findings.append(diag(
             DMA_WAIT,

@@ -300,7 +300,7 @@ def _print_ir_dump(result, dump: str) -> int:
     names = list(snapshots)
     print(f"=== IR: {names[0]} ===")
     print(snapshots[names[0]])
-    for previous, current in zip(names, names[1:]):
+    for previous, current in zip(names, names[1:], strict=False):
         print(f"=== IR after {current} ===")
         diff = ir_diff(snapshots[previous], snapshots[current],
                        before_name=previous, after_name=current)
@@ -357,21 +357,115 @@ def _cmd_compile(args) -> int:
     return 0
 
 
+def _sanitize_session(session, compiled, result, feeds, seed: int) -> int:
+    """The ``repro run --sanitize`` verification pass; returns an exit code.
+
+    Composes all four nsan oracles into one shared-model report: the
+    static hazard rules over the compiled loadables, a two-run output
+    determinism check, a shadow-SRAM microkernel on the session's machine,
+    and the fastpath-vs-interpreter equivalence oracle.
+    """
+    from repro.analyze import AnalysisReport, analyze_model, render_text
+    from repro.analyze.diagnostics import diag
+    from repro.isa import assemble
+    from repro.ncore import DmaDescriptor
+    from repro.sanitize import oracle_compare
+    from repro.sanitize.sanitizer import DIVERGENCE
+
+    report = AnalysisReport()
+    # 1. Static layer: the happens-before hazard rules over the schedule.
+    static = analyze_model(compiled)
+    report.extend(
+        d for d in static.diagnostics if d.rule.startswith("hazard.")
+    )
+    # 2. Determinism: the same feeds must produce byte-identical outputs.
+    rerun = session.run(feeds)
+    for name, value in result.outputs.items():
+        if np.asarray(value).tobytes() != np.asarray(rerun.outputs[name]).tobytes():
+            report.extend([diag(
+                DIVERGENCE,
+                f"two runs with identical feeds disagree on output {name!r}",
+                artifact=compiled.name, element=name,
+            )])
+    # 3. Shadow-SRAM sanitizer: a DMA + MAC-loop microkernel on the
+    # session's machine with every access checked.
+    machine = session.mapping.machine()
+    sanitizer = machine.arm_sanitizer(True)
+    try:
+        payload = np.tile(np.arange(64, dtype=np.uint8), 64).tobytes()
+        machine.memory.write(session.driver.dma_address_for(0), payload)
+        machine.set_dma_descriptor(
+            0,
+            DmaDescriptor(False, True, ram_row=0, rows=1, dram_addr=0, through_l3=True),
+        )
+        machine.write_data_ram(0, payload)
+        machine.execute_program(assemble(
+            "dmastart 0\ndmawait 1\n"
+            "setaddr a0, 0\nsetaddr a3, 0\nsetaddr a5, 0\n"
+            "loop 16 {\n"
+            "  bypass n0, dram[a0]\n"
+            "  broadcast64 n1, wtram[a3], a5, inc\n"
+            "  mac.uint8 n0, n1\n"
+            "}\n"
+            "setaddr a6, 64\nrequant.uint8 relu\nstore a6\nhalt"
+        ))
+        report.merge(sanitizer.report)
+        checked = (sanitizer.stats["reads_checked"]
+                   + sanitizer.stats["writes_checked"])
+        print(f"  sanitizer: {checked} accesses and "
+              f"{sanitizer.stats['dma_transfers']} transfer(s) checked")
+    finally:
+        machine.arm_sanitizer(False)
+    # 4. Equivalence oracle: fastpath and interpreter must agree bit-for-bit.
+    def setup(oracle_machine) -> None:
+        oracle_machine.write_data_ram(0, payload)
+        oracle_machine.write_weight_ram(0, payload)
+
+    report.merge(oracle_compare(
+        "setaddr a0, 0\nsetaddr a3, 0\nsetaddr a5, 0\n"
+        "loop 64 {\n"
+        "  bypass n0, dram[a0]\n"
+        "  broadcast64 n1, wtram[a3], a5, inc\n"
+        "  mac.uint8 n0, n1\n"
+        "}\n"
+        "setaddr a6, 64\nrequant.uint8 relu\nstore a6\nhalt",
+        setup=setup, name=compiled.name,
+    ))
+    print(f"  sanitize {compiled.name}: ", end="")
+    print(render_text(report))
+    return 0 if report.ok else 1
+
+
 def _cmd_run(args) -> int:
-    from repro.graph.frontends import load_graph
     from repro.runtime import InferenceSession, compile_model
 
-    graph = load_graph(args.path)
-    compiled = compile_model(graph, optimize=not args.no_optimize)
+    try:
+        name, graph = _lint_target_graph(args.path, args.seed)
+    except FileNotFoundError:
+        from repro.models import PAPER_CHARACTERISTICS
+
+        print(f"unknown model or graph path {args.path!r}; zoo keys: "
+              f"{sorted(PAPER_CHARACTERISTICS)}", file=sys.stderr)
+        return 2
+    compiled = compile_model(graph, optimize=not args.no_optimize, name=name)
     session = InferenceSession(compiled)
-    rng = np.random.default_rng(args.seed)
-    feeds = {}
-    for name in compiled.graph.inputs:
-        tensor = compiled.graph.tensor(name)
-        if tensor.type.dtype == "int32":
-            feeds[name] = rng.integers(0, 100, size=tensor.shape).astype(np.int32)
-        else:
-            feeds[name] = rng.uniform(-1, 1, size=tensor.shape).astype(np.float32)
+    key = _resolve_model_key(args.path)
+    if key is not None:
+        from repro.models import PAPER_CHARACTERISTICS
+
+        feeds = PAPER_CHARACTERISTICS[key].sample_input(
+            compiled.graph, seed=args.seed
+        )
+    else:
+        rng = np.random.default_rng(args.seed)
+        feeds = {}
+        for name in compiled.graph.inputs:
+            tensor = compiled.graph.tensor(name)
+            feeds[name] = (
+                rng.integers(0, 100, size=tensor.shape).astype(np.int32)
+                if tensor.type.dtype == "int32"
+                else rng.uniform(-1, 1, size=tensor.shape).astype(np.float32)
+            )
     result = session.run(feeds)
     for name, value in result.outputs.items():
         value = np.asarray(value)
@@ -380,8 +474,11 @@ def _cmd_run(args) -> int:
     timing = result.timing
     print(f"  latency: {timing.total_seconds * 1e6:.1f} us "
           f"(Ncore {timing.ncore_fraction:.0%})")
+    exit_code = 0
+    if args.sanitize:
+        exit_code = _sanitize_session(session, compiled, result, feeds, args.seed)
     session.close()
-    return 0
+    return exit_code
 
 
 def _lint_target_graph(target: str, seed: int):
@@ -410,7 +507,15 @@ def _lint_target_graph(target: str, seed: int):
 
 
 def _cmd_lint(args) -> int:
-    from repro.analyze import analyze_graph, analyze_model, render_json, render_text
+    from repro.analyze import (
+        AnalysisReport,
+        analyze_graph,
+        analyze_model,
+        build_loadable_hazard_graph,
+        render_dot,
+        render_json,
+        render_text,
+    )
     from repro.runtime import compile_model
 
     try:
@@ -421,6 +526,10 @@ def _cmd_lint(args) -> int:
         print(f"unknown model or graph path {args.target!r}; zoo keys: "
               f"{sorted(PAPER_CHARACTERISTICS)}", file=sys.stderr)
         return 2
+    if args.graph_only and (args.hazards or args.dot):
+        print("--hazards/--dot need the lowered loadables; "
+              "drop --graph-only", file=sys.stderr)
+        return 2
     suppress = tuple(args.suppress or ())
     if args.graph_only:
         report = analyze_graph(graph, suppress=suppress)
@@ -429,10 +538,23 @@ def _cmd_lint(args) -> int:
         # every finding is reported here instead of raised mid-lowering.
         compiled = compile_model(graph, optimize=False, name=name, verify=False)
         report = analyze_model(compiled, suppress=suppress)
+        if args.dot:
+            graphs = [
+                build_loadable_hazard_graph(compiled.graph, loadable)
+                for _, loadable in sorted(compiled.loadables.items())
+            ]
+            with open(args.dot, "w", encoding="utf-8") as handle:
+                handle.write(render_dot(graphs, name=name) + "\n")
+            print(f"  wrote {args.dot} ({len(graphs)} happens-before graphs)")
+    if args.hazards:
+        report = AnalysisReport(
+            [d for d in report.diagnostics if d.rule.startswith("hazard.")]
+        )
     if args.json:
         print(render_json(report))
     else:
-        print(f"lint {name}: ", end="")
+        label = "lint --hazards" if args.hazards else "lint"
+        print(f"{label} {name}: ", end="")
         print(render_text(report, verbose=args.verbose))
     return 0 if report.ok else 1
 
@@ -630,6 +752,12 @@ def build_parser() -> argparse.ArgumentParser:
                       help="drop findings of this rule id (repeatable)")
     lint.add_argument("--verbose", action="store_true",
                       help="include info-severity notes in the text output")
+    lint.add_argument("--hazards", action="store_true",
+                      help="report only the happens-before hazard rules "
+                           "(hazard.*)")
+    lint.add_argument("--dot", metavar="FILE",
+                      help="write the per-loadable happens-before graphs as "
+                           "Graphviz dot")
     lint.add_argument("--seed", type=int, default=0,
                       help="calibration seed for the quantized zoo path")
     compile_cmd = sub.add_parser(
@@ -656,10 +784,19 @@ def build_parser() -> argparse.ArgumentParser:
                              help="use (and persist) an on-disk compile cache")
     compile_cmd.add_argument("--seed", type=int, default=0,
                              help="calibration seed for the quantized zoo path")
-    run_cmd = sub.add_parser("run", help="run a serialized GIR")
-    run_cmd.add_argument("path", help="path prefix of the .json/.npz pair")
+    run_cmd = sub.add_parser("run", help="run a zoo model or serialized GIR")
+    run_cmd.add_argument(
+        "path",
+        help="zoo model key (or unique prefix) or path prefix of the "
+             ".json/.npz pair",
+    )
     run_cmd.add_argument("--no-optimize", action="store_true")
     run_cmd.add_argument("--seed", type=int, default=0)
+    run_cmd.add_argument(
+        "--sanitize", action="store_true",
+        help="verify the run: static hazard rules, output determinism, a "
+             "shadow-SRAM-sanitized microkernel and the fastpath oracle",
+    )
     return parser
 
 

@@ -145,7 +145,7 @@ def choose_channel_quant_params(
     reduce_axes = tuple(i for i in range(data.ndim) if i != axis)
     mins = np.min(data, axis=reduce_axes)
     maxs = np.max(data, axis=reduce_axes)
-    params = [choose_quant_params(lo, hi, dtype) for lo, hi in zip(mins, maxs)]
+    params = [choose_quant_params(lo, hi, dtype) for lo, hi in zip(mins, maxs, strict=True)]
     return ChannelQuantParams(
         scales=tuple(p.scale for p in params),
         zero_points=tuple(p.zero_point for p in params),

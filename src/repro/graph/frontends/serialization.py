@@ -65,10 +65,11 @@ def _attrs_to_json(attrs: dict) -> dict:
     """Attrs are JSON-ified; tuples round-trip via lists + shape knowledge."""
     out = {}
     for key, value in attrs.items():
-        if isinstance(value, tuple):
-            out[key] = [list(v) if isinstance(v, tuple) else v for v in value]
-        else:
-            out[key] = value
+        out[key] = (
+            [list(v) if isinstance(v, tuple) else v for v in value]
+            if isinstance(value, tuple)
+            else value
+        )
     return out
 
 

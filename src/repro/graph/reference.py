@@ -274,7 +274,7 @@ def execute_float(graph: Graph, feeds: dict[str, np.ndarray]) -> dict[str, np.nd
     for node in graph.nodes:
         ins = [values[name] for name in node.inputs]
         outs = execute_node(graph, node, ins)
-        for name, value in zip(node.outputs, outs):
+        for name, value in zip(node.outputs, outs, strict=False):
             values[name] = value
     return {name: values[name] for name in graph.outputs}
 

@@ -199,9 +199,9 @@ class SeqOp:
     DMA_WAIT_GROUPS = frozenset({0, 1, 2, 3})
 
     def __post_init__(self) -> None:
-        if self.opcode in (SeqOpcode.SET_ADDR, SeqOpcode.ADD_ADDR):
-            if not 0 <= self.arg < NUM_ADDR_REGS:
-                raise ValueError(f"address register {self.arg} out of range")
+        if (self.opcode in (SeqOpcode.SET_ADDR, SeqOpcode.ADD_ADDR)
+                and not 0 <= self.arg < NUM_ADDR_REGS):
+            raise ValueError(f"address register {self.arg} out of range")
         if self.opcode is SeqOpcode.DMA_START and not 0 <= self.arg < NUM_DMA_DESCRIPTORS:
             raise ValueError(f"DMA descriptor {self.arg} out of range")
         if self.opcode is SeqOpcode.DMA_WAIT and self.arg not in self.DMA_WAIT_GROUPS:

@@ -49,7 +49,7 @@ def build_ssd_mobilenet_v1(batch: int = 1, seed: int = 22) -> Graph:
 
     box_parts: list[str] = []
     class_parts: list[str] = []
-    for feature, (side, anchors) in zip(feature_maps, _SCALES):
+    for feature, (side, anchors) in zip(feature_maps, _SCALES, strict=False):
         assert b.shape(feature)[1] == side, (b.shape(feature), side)
         # 1x1 convolutional box predictors, as in the reference model.
         boxes = b.conv(feature, anchors * 4, 1, bias=True)

@@ -35,10 +35,11 @@ class ModelInfo:
         feeds: dict[str, np.ndarray] = {}
         for name in graph.inputs:
             tensor = graph.tensor(name)
-            if tensor.type.dtype == "int32":
-                feeds[name] = rng.integers(0, 1000, size=tensor.shape).astype(np.int32)
-            else:
-                feeds[name] = rng.uniform(-1, 1, size=tensor.shape).astype(np.float32)
+            feeds[name] = (
+                rng.integers(0, 1000, size=tensor.shape).astype(np.int32)
+                if tensor.type.dtype == "int32"
+                else rng.uniform(-1, 1, size=tensor.shape).astype(np.float32)
+            )
         return feeds
 
 

@@ -114,6 +114,8 @@ class DmaEngine:
         self.bytes_moved = 0
         self.transfers = 0
         self.l3 = None  # optionally attached by the SoC (repro.soc.cache)
+        # Shadow-SRAM sanitizer hook (repro.sanitize); armed by the machine.
+        self.sanitizer = None
 
     def configure_window(self, dram_base: int) -> None:
         """Driver-side: point the DMA window at a DRAM region."""
@@ -160,6 +162,21 @@ class DmaEngine:
         length = descriptor.num_bytes
         dram_addr = self._translate(descriptor.dram_addr, length)
         ram_offset = descriptor.ram_row * ram.row_bytes
+        cycles = self.memory.transfer_cycles(length)
+        if descriptor.through_l3:
+            # "The extra hop through the L3 minimally increases the latency
+            # to DRAM" (section IV-A).
+            cycles += self.l3_extra_latency
+        end_cycle = max(self.busy_until, now_cycle) + cycles
+        if self.sanitizer is not None:
+            # Before the functional copy, so an out-of-bounds descriptor is
+            # recorded as a finding before the RAM model raises.
+            self.sanitizer.on_dma_start(
+                self.name,
+                "weight" if descriptor.target_weight_ram else "data",
+                descriptor, ram.rows, ram.row_bytes,
+                end_cycle - cycles, end_cycle,
+            )
         if descriptor.write_to_dram:
             self.memory.write(dram_addr, ram.read_bytes(ram_offset, length))
         else:
@@ -167,12 +184,7 @@ class DmaEngine:
             if descriptor.through_l3 and self.l3 is not None:
                 payload = self.l3.coherent_read(dram_addr, length, payload)
             ram.write_bytes(ram_offset, payload)
-        cycles = self.memory.transfer_cycles(length)
-        if descriptor.through_l3:
-            # "The extra hop through the L3 minimally increases the latency
-            # to DRAM" (section IV-A).
-            cycles += self.l3_extra_latency
-        self.busy_until = max(self.busy_until, now_cycle) + cycles
+        self.busy_until = end_cycle
         self.bytes_moved += length
         self.transfers += 1
         tracer = get_tracer()

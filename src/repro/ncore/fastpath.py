@@ -826,18 +826,15 @@ def _apply_npu(ev: _Evaluator, trace: "FusedTrace", nb: int) -> tuple[int, Array
         final_f: Array = machine.acc_float.copy()
         for comb, mask, _ in pairs:
             value = comb[nb - 1].astype(np.float32)
-            if mask is None:
-                final_f = value
-            else:
-                final_f = np.where(mask, value, final_f).astype(np.float32)
+            final_f = (
+                value if mask is None
+                else np.where(mask, value, final_f).astype(np.float32)
+            )
         return nb, final_f
     final: Array = machine.acc_int.copy()
     for comb, mask, _ in pairs:
         value_i = np.clip(comb[nb - 1], ACC_MIN, ACC_MAX).astype(np.int32)
-        if mask is None:
-            final = value_i
-        else:
-            final = np.where(mask, value_i, final)
+        final = value_i if mask is None else np.where(mask, value_i, final)
     return nb, final
 
 

@@ -122,8 +122,12 @@ class Ncore:
         config: NcoreConfig | None = None,
         memory: LinearMemory | None = None,
         fastpath: bool | None = None,
+        sanitize=None,
     ) -> None:
         self.config = config or NcoreConfig()
+        # Shadow-SRAM sanitizer (repro.sanitize): None/False keeps every
+        # hook site at one `is not None` check — the zero-cost default.
+        self._san = None
         # Tier-1 fast path (repro.ncore.fastpath): None defers to the
         # process-wide default; False forces pure interpretation.
         self.fastpath = (
@@ -155,7 +159,45 @@ class Ncore:
             name: PerfCounter(name) for name in ("cycles", "instructions", "macs", "dma_stall")
         }
         self.n_step: int | None = None
+        if sanitize:
+            self.arm_sanitizer(sanitize)
         self.reset()
+
+    # ------------------------------------------------------------------
+    # Sanitizer (repro.sanitize)
+    # ------------------------------------------------------------------
+
+    @property
+    def sanitizer(self):
+        """The armed :class:`repro.sanitize.Sanitizer`, or ``None``."""
+        return self._san
+
+    def arm_sanitizer(self, sanitize=True):
+        """Arm (or disarm) the shadow-SRAM sanitizer on this machine.
+
+        ``sanitize`` may be ``True`` / ``"shadow"`` (fresh
+        :class:`~repro.sanitize.Sanitizer`), an existing instance, or
+        ``False`` / ``None`` to disarm.  Arming forces pure
+        interpretation: the fast path batches whole loop regions, so the
+        sanitizer would miss the per-issue accesses it must observe.
+        Returns the armed sanitizer (or ``None`` after disarming).
+        """
+        if not sanitize:
+            self._san = None
+            self.dma_read.sanitizer = None
+            self.dma_write.sanitizer = None
+            return None
+        from repro.sanitize.sanitizer import Sanitizer
+
+        self._san = (
+            sanitize if isinstance(sanitize, Sanitizer)
+            else Sanitizer(self.config)
+        )
+        self.fastpath = False
+        self._fastpath_tables = [{}, {}]
+        self.dma_read.sanitizer = self._san
+        self.dma_write.sanitizer = self._san
+        return self._san
 
     # ------------------------------------------------------------------
     # State and the memory-mapped slave interface
@@ -199,6 +241,8 @@ class Ncore:
         # The cycle counter restarted, so in-flight DMA timing is stale.
         self.dma_read.reset_timing()
         self.dma_write.reset_timing()
+        if self._san is not None:
+            self._san.on_reset()
 
     def set_zero_offsets(self, data: int, weight: int) -> None:
         """Configure the u8 -> s9 zero offsets (section IV-D.4)."""
@@ -279,6 +323,11 @@ class Ncore:
             row = self.addr_regs[operand.index]
             if operand.increment:
                 increments.append((operand.index, 1))
+            if self._san is not None:
+                self._san.on_row_read(
+                    "data" if kind is OperandKind.DATA_RAM else "weight",
+                    row, 1, self.total_cycles, self.pc,
+                )
             return ram.read_row(row)
         if kind is OperandKind.IMMEDIATE:
             return np.full(self.config.row_bytes, operand.index, dtype=np.uint8)
@@ -320,6 +369,11 @@ class Ncore:
             )
         ram = self.data_ram if operand.kind is OperandKind.DATA_RAM else self.weight_ram
         row = self.addr_regs[operand.index]
+        if self._san is not None:
+            self._san.on_row_read(
+                "data" if operand.kind is OperandKind.DATA_RAM else "weight",
+                row, 2, self.total_cycles, self.pc,
+            )
         low = ram.read_row(row)
         high = ram.read_row(row + 1)
         if operand.increment:
@@ -393,10 +447,11 @@ class Ncore:
             data = data - self.data_zero_offset
             weight = weight - self.weight_zero_offset
         if op.data_shift:
-            if info.is_float:
-                data = data * np.float32(2.0 ** -op.data_shift)
-            else:
-                data = data >> op.data_shift
+            data = (
+                data * np.float32(2.0 ** -op.data_shift)
+                if info.is_float
+                else data >> op.data_shift
+            )
         if op.from_neighbor:
             data = npu_unit.slide_from_neighbor(data)
         if op.opcode is NPUOpcode.CMPGT:
@@ -444,6 +499,8 @@ class Ncore:
         if op.opcode is OutOpcode.STORE:
             row = self.addr_regs[op.dst_addr_reg]
             source = self.out_high if op.source_high else self.out_low
+            if self._san is not None:
+                self._san.on_row_write("data", row, 1, self.total_cycles, self.pc)
             self.data_ram.write_row(row, source)
             if op.dst_increment:
                 increments.append((op.dst_addr_reg, 1))
@@ -451,6 +508,8 @@ class Ncore:
         # STORE_ACC: spill the raw 32-bit accumulators as four rows, byte
         # j of every lane in row (base + j).
         base = self.addr_regs[op.dst_addr_reg]
+        if self._san is not None:
+            self._san.on_row_write("data", base, 4, self.total_cycles, self.pc)
         raw = np.ascontiguousarray(self.acc_int).view(np.uint8).reshape(-1, 4)
         for j in range(4):
             self.data_ram.write_row(base + j, np.ascontiguousarray(raw[:, j]))
@@ -496,6 +555,8 @@ class Ncore:
             if descriptor is None:
                 raise ExecutionError(f"DMA descriptor {seq.arg} not configured")
             engine = self.dma_write if descriptor.write_to_dram else self.dma_read
+            if self._san is not None:
+                self._san.note_pc(pc)
             engine.start(descriptor, self.data_ram, self.weight_ram, self.total_cycles)
             return pc + 1
         if opcode is SeqOpcode.DMA_WAIT:
@@ -515,6 +576,8 @@ class Ncore:
             self.total_cycles += stall
             self.dma_stall_cycles += stall
             self.perf_counters["dma_stall"].add(stall)
+            if self._san is not None:
+                self._san.on_dma_wait([e.name for e in engines], self.total_cycles)
             return pc + 1
         if opcode is SeqOpcode.EVENT:
             self.event_log.record(self.total_cycles, seq.arg, pc)
@@ -575,10 +638,10 @@ class Ncore:
             self.total_issues += 1
             if self.perf_counters["cycles"].add(issue_cycles):
                 self._pending_break = "perf_counter"
-            if self.n_step is not None and self._next_step_break is not None:
-                if self.total_cycles >= self._next_step_break:
-                    self._next_step_break = self.total_cycles + self.n_step
-                    self._pending_break = self._pending_break or "n_step"
+            if (self.n_step is not None and self._next_step_break is not None
+                    and self.total_cycles >= self._next_step_break):
+                self._next_step_break = self.total_cycles + self.n_step
+                self._pending_break = self._pending_break or "n_step"
             if self._pending_break is not None and iteration + 1 < instruction.repeat:
                 self._resume_repeat = (self.pc, iteration + 1)
                 return False
@@ -729,6 +792,8 @@ class Ncore:
                 result.dma_stall_cycles
             )
             metrics.counter("ncore.runs").inc()
+            if self._san is not None:
+                self._san.publish_metrics(metrics)
         return result
 
     def execute_program(
@@ -743,12 +808,16 @@ class Ncore:
     # ------------------------------------------------------------------
 
     def write_data_ram(self, offset: int, payload: bytes) -> None:
+        if self._san is not None:
+            self._san.on_host_write("data", offset, len(payload))
         self.data_ram.write_bytes(offset, payload)
 
     def read_data_ram(self, offset: int, length: int) -> bytes:
         return self.data_ram.read_bytes(offset, length)
 
     def write_weight_ram(self, offset: int, payload: bytes) -> None:
+        if self._san is not None:
+            self._san.on_host_write("weight", offset, len(payload))
         self.weight_ram.write_bytes(offset, payload)
 
     def read_weight_ram(self, offset: int, length: int) -> bytes:

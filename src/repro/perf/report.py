@@ -31,7 +31,7 @@ def _table(title: str, header: list[str], rows: list[list]) -> str:
     ]
     bar = "-" * (sum(widths) + 2 * (len(widths) - 1))
     def line(cells):
-        return "  ".join(str(c).rjust(w) for c, w in zip(cells, widths))
+        return "  ".join(str(c).rjust(w) for c, w in zip(cells, widths, strict=False))
     return "\n".join(["", title, bar, line(header), bar, *(line(r) for r in rows), bar])
 
 

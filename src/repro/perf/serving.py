@@ -417,7 +417,7 @@ class ServerScenario:
         busy = list(self._socket_busy)
         utilization = [
             min(1.0, max(0.0, (total - previous) / interval))
-            for total, previous in zip(busy, self._prev_busy)
+            for total, previous in zip(busy, self._prev_busy, strict=False)
         ]
         self._prev_busy = busy
         frame: dict = {

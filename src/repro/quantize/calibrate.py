@@ -49,7 +49,7 @@ def calibrate(graph: Graph, batches: list[dict[str, np.ndarray]]) -> Calibration
         for node in graph.nodes:
             ins = [values[name] for name in node.inputs]
             outs = execute_node(graph, node, ins)
-            for name, value in zip(node.outputs, outs):
+            for name, value in zip(node.outputs, outs, strict=False):
                 values[name] = value
                 if np.issubdtype(np.asarray(value).dtype, np.floating):
                     result.observe(name, value)

@@ -147,11 +147,12 @@ class _Converter:
         if len(node.inputs) <= 2:
             return None
         bias = self.src.tensor(node.inputs[2])
-        if isinstance(weight_qp, ChannelQuantParams):
-            # Bias lives in per-channel accumulator units.
-            scale = input_qp.scale * np.asarray(weight_qp.scales, dtype=np.float64)
-        else:
-            scale = input_qp.scale * weight_qp.scale
+        # Bias lives in accumulator units: per-channel when the weights are.
+        scale = input_qp.scale * (
+            np.asarray(weight_qp.scales, dtype=np.float64)
+            if isinstance(weight_qp, ChannelQuantParams)
+            else weight_qp.scale
+        )
         data = np.round(bias.data / scale).astype(np.int64)
         data = np.clip(data, -(2**31), 2**31 - 1).astype(np.int32)
         qname = node.inputs[2] + "__b"
@@ -209,10 +210,11 @@ class _Converter:
                     op_inputs.append(self._ensure_quant(name))
         out_name = node.outputs[0]
         shape = self.src.tensor(out_name).shape
-        if node.op in _SAME_QP_AS_INPUT:
-            out_qp = self.out.tensor(op_inputs[0]).quant
-        else:
-            out_qp = self._activation_qp(out_name)
+        out_qp = (
+            self.out.tensor(op_inputs[0]).quant
+            if node.op in _SAME_QP_AS_INPUT
+            else self._activation_qp(out_name)
+        )
         self.out.add_tensor(Tensor(out_name, TensorType(shape, self.act_dtype), quant=out_qp))
         self.out.add_node(Node(node.name, node.op, op_inputs, [out_name], dict(node.attrs)))
         self.quant_version[out_name] = out_name

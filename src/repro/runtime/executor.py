@@ -422,7 +422,7 @@ class EngineExecutor:
                           t.trace.trace_id for t in tickets if t.trace is not None
                       ]},
             )
-            for ticket, result in zip(tickets, results):
+            for ticket, result in zip(tickets, results, strict=True):
                 ticket.ncore_done_at = ncore_done
                 engine.process(
                     self._postprocess(ticket, result),

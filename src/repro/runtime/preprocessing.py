@@ -52,10 +52,11 @@ def classification_pipeline(image: np.ndarray, resolution: int = 224) -> np.ndar
     resolution*256/224, center crop, normalize; returns (1, R, R, 3)."""
     h, w, _ = image.shape
     short_side = int(round(resolution * 256 / 224))
-    if h < w:
-        resized = resize_bilinear(image, short_side, int(round(w * short_side / h)))
-    else:
-        resized = resize_bilinear(image, int(round(h * short_side / w)), short_side)
+    resized = (
+        resize_bilinear(image, short_side, int(round(w * short_side / h)))
+        if h < w
+        else resize_bilinear(image, int(round(h * short_side / w)), short_side)
+    )
     cropped = center_crop(resized, resolution)
     return normalize(cropped)[None, ...]
 

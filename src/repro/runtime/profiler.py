@@ -131,7 +131,7 @@ class Profiler:
             e for e in self.machine.event_log.drain() if e.tag in self._names
         ]
         spans: list[Span] = []
-        for current, following in zip(events, events[1:]):
+        for current, following in zip(events, events[1:], strict=False):
             name = self._names[current.tag]
             if name == "__end__":
                 continue

@@ -252,7 +252,7 @@ def execute_quantized(graph: Graph, feeds: dict[str, np.ndarray]) -> dict[str, n
     for node in graph.nodes:
         ins = [values[name] for name in node.inputs]
         outs = _execute_quantized_node(graph, node, ins)
-        for name, value in zip(node.outputs, outs):
+        for name, value in zip(node.outputs, outs, strict=False):
             values[name] = value
     return {name: values[name] for name in graph.outputs}
 
@@ -275,7 +275,7 @@ def _execute_quantized_node(graph: Graph, node: Node, ins: list[np.ndarray]):
         from repro.dtypes import NcoreDType, to_bfloat16
 
         rounded = []
-        for name, value in zip(node.outputs, outs):
+        for name, value in zip(node.outputs, outs, strict=False):
             if graph.tensor(name).type.dtype is NcoreDType.BF16:
                 rounded.append(to_bfloat16(np.asarray(value, dtype=np.float32)))
             else:
@@ -341,7 +341,7 @@ def _execute_quantized_node(graph: Graph, node: Node, ins: list[np.ndarray]):
         out_qp = _qp(graph, out_name)
         parts = [
             qrequant(value, _qp(graph, name), out_qp)
-            for value, name in zip(ins, node.inputs)
+            for value, name in zip(ins, node.inputs, strict=True)
         ]
         return [np.concatenate(parts, axis=attrs.get("axis", -1))]
     if node.op in ("relu", "relu6"):

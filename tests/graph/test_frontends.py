@@ -201,7 +201,7 @@ class TestSerialization:
         g = small_cnn()
         save_graph(g, tmp_path / "m")
         loaded = load_graph(tmp_path / "m")
-        for a, b in zip(g.nodes, loaded.nodes):
+        for a, b in zip(g.nodes, loaded.nodes, strict=True):
             assert a.attrs == b.attrs
 
     def test_version_check(self, tmp_path):

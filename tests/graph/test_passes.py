@@ -50,7 +50,9 @@ def outputs_match(before: Graph, after: Graph, feeds):
     out_a = execute_float(before, feeds)
     out_b = execute_float(after, feeds)
     assert set(out_a) == set(out_b) or len(out_a) == len(out_b)
-    for (ka, va), (kb, vb) in zip(sorted(out_a.items()), sorted(out_b.items())):
+    for (_ka, va), (_kb, vb) in zip(
+        sorted(out_a.items()), sorted(out_b.items()), strict=True
+    ):
         np.testing.assert_allclose(va, vb, rtol=1e-4, atol=1e-5)
 
 

@@ -85,7 +85,7 @@ class TestWeightPinning:
         (segment,) = partition(g)
         plan = plan_memory(g, segment)
         ranges = sorted(plan.weight_allocs.values(), key=lambda r: r.start)
-        for a, b in zip(ranges, ranges[1:]):
+        for a, b in zip(ranges, ranges[1:], strict=False):
             assert a.end <= b.start
 
     def test_large_weights_streamed_with_prefetch(self):

@@ -5,6 +5,8 @@ accounting; encode -> decode -> execute must behave identically to direct
 execution (the binary path changes nothing).
 """
 
+import contextlib
+
 import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings
@@ -138,10 +140,9 @@ class TestRandomPrograms:
     def test_reset_restores_power_on_state(self, program):
         machine = Ncore()
         machine.write_data_ram(0, b"\x05" * 4096)
-        try:
+        # Reset must restore state even after a rejected program.
+        with contextlib.suppress(ExecutionError):
             machine.execute_program(program, max_cycles=10_000)
-        except ExecutionError:
-            pass  # reset must restore state even after a rejected program
         machine.reset()
         assert machine.total_cycles == 0
         assert not machine.acc_int.any()

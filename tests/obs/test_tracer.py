@@ -31,9 +31,8 @@ class TestInstall:
         assert obs.get_tracer() is NULL_TRACER
 
     def test_restore_on_exception(self):
-        with pytest.raises(RuntimeError):
-            with obs.install_tracer(obs.Tracer()):
-                raise RuntimeError("boom")
+        with pytest.raises(RuntimeError), obs.install_tracer(obs.Tracer()):
+            raise RuntimeError("boom")
         assert obs.get_tracer() is NULL_TRACER
 
     def test_nested_install_restores_outer(self):
@@ -64,18 +63,16 @@ class TestWallSpans:
 
     def test_nested_spans_are_contained(self):
         tracer = obs.Tracer()
-        with tracer.span("outer"):
-            with tracer.span("inner"):
-                pass
+        with tracer.span("outer"), tracer.span("inner"):
+            pass
         inner, outer = tracer.spans  # inner closes first
         assert outer.start_us <= inner.start_us
         assert inner.end_us <= outer.end_us
 
     def test_span_recorded_even_when_body_raises(self):
         tracer = obs.Tracer()
-        with pytest.raises(ValueError):
-            with tracer.span("fails"):
-                raise ValueError("x")
+        with pytest.raises(ValueError), tracer.span("fails"):
+            raise ValueError("x")
         assert [s.name for s in tracer.spans] == ["fails"]
 
     def test_instant(self):

@@ -29,7 +29,7 @@ class TestExpected:
     def test_monotone_in_cores(self):
         t_nc, t_x86 = paper_portions("mobilenet_v1")
         values = [expected_throughput(t_nc, t_x86, n) for n in range(1, 9)]
-        assert all(a <= b + 1e-9 for a, b in zip(values, values[1:]))
+        assert all(a <= b + 1e-9 for a, b in zip(values, values[1:], strict=False))
 
     def test_paper_core_requirements(self):
         # Fig. 13 reading: ResNet-50 saturates with 2 cores, MobileNet with
@@ -92,4 +92,4 @@ class TestObserved:
     def test_monotone_in_cores(self):
         t_nc, t_x86 = paper_portions("ssd_mobilenet_v1")
         values = [observed_throughput(t_nc, t_x86, n) for n in range(1, 9)]
-        assert all(a <= b + 1e-9 for a, b in zip(values, values[1:]))
+        assert all(a <= b + 1e-9 for a, b in zip(values, values[1:], strict=False))

@@ -171,11 +171,11 @@ class TestObservability:
         from repro import obs
 
         bare = run_server(resnet, queries=64, seed=5)
-        with obs.install_metrics(obs.MetricsRegistry()):
-            with obs.install_tracer(obs.Tracer()):
-                observed = run_server(resnet, queries=64, seed=5,
-                                      slo_latency_seconds=0.1,
-                                      telemetry_interval=0.01)
+        with obs.install_metrics(obs.MetricsRegistry()), \
+                obs.install_tracer(obs.Tracer()):
+            observed = run_server(resnet, queries=64, seed=5,
+                                  slo_latency_seconds=0.1,
+                                  telemetry_interval=0.01)
         assert np.asarray(bare.latencies_seconds).tobytes() == \
             np.asarray(observed.latencies_seconds).tobytes()
 

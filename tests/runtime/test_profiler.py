@@ -40,7 +40,7 @@ class TestProfiler:
 
     def test_spans_are_contiguous_and_ordered(self):
         trace = self._trace()
-        for a, b in zip(trace.spans, trace.spans[1:]):
+        for a, b in zip(trace.spans, trace.spans[1:], strict=False):
             assert a.end_cycle == b.start_cycle
             assert a.start_cycle < a.end_cycle
 
