@@ -1,0 +1,78 @@
+"""Design-space sweep wall-time guard.
+
+``repro explore`` is only useful if a real grid turns around interactively;
+this benchmark sweeps a 108-point grid (every axis but DDR) over MobileNet
+twice — cold, then against the warm compile cache — and enforces:
+
+- the **cold** sweep fits ``COLD_BUDGET_SECONDS`` (build + quantize once,
+  one compile per distinct NcoreConfig);
+- the compile cache works: distinct NcoreConfigs compile once each, and
+  points differing only in SoC axes are pure cache hits;
+- the result is deterministic: both sweeps emit byte-identical JSON.
+
+Writes ``BENCH_explore.json`` next to the repo root when run directly.
+
+Run:  python -m pytest benchmarks/bench_explore.py -q
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.explore import enumerate_grid, run_sweep
+
+GRID = {
+    "slices": (8, 16, 24, 32),
+    "sram_rows": (1024, 2048, 4096),
+    "ring_width_bits": (256, 512, 1024),
+    "clock_ghz": (2.0, 2.5, 3.0),
+}
+COLD_BUDGET_SECONDS = 30.0
+#: Distinct NcoreConfigs in GRID: slices x sram_rows x clock (ring is
+#: SoC-only, so its axis multiplies points but not compilations).
+DISTINCT_NCORE_CONFIGS = 4 * 3 * 3
+
+
+def _run():
+    points = enumerate_grid(GRID)
+    start = time.perf_counter()
+    cold = run_sweep(points, models=("mobilenet_v1",), seed=0)
+    cold_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    warm = run_sweep(points, models=("mobilenet_v1",), seed=0)
+    warm_seconds = time.perf_counter() - start
+    return points, cold, cold_seconds, warm, warm_seconds
+
+
+def test_sweep_meets_the_wall_time_budget():
+    points, cold, cold_seconds, warm, warm_seconds = _run()
+    assert len(points) >= 100
+    assert cold_seconds < COLD_BUDGET_SECONDS, (
+        f"{len(points)}-point sweep took {cold_seconds:.2f}s "
+        f"(budget {COLD_BUDGET_SECONDS}s)"
+    )
+    # The cache must collapse SoC-only axes to hits.
+    assert cold.cache_misses == DISTINCT_NCORE_CONFIGS
+    assert cold.cache_hits == len(points) - DISTINCT_NCORE_CONFIGS
+    # Determinism: identical grid + seed -> identical JSON.
+    assert cold.to_json() == warm.to_json()
+    assert len(cold.frontier) > 0
+
+
+def record_baseline(path="BENCH_explore.json"):
+    points, cold, cold_seconds, warm, warm_seconds = _run()
+    payload = {
+        "grid_points": len(points),
+        "feasible_points": len(cold.feasible),
+        "pareto_points": len(cold.frontier),
+        "distinct_compiles": cold.cache_misses,
+        "cold_seconds": round(cold_seconds, 3),
+        "warm_seconds": round(warm_seconds, 3),
+        "budget_seconds": COLD_BUDGET_SECONDS,
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return payload
+
+
+if __name__ == "__main__":
+    print(json.dumps(record_baseline(), indent=2, sort_keys=True))

@@ -17,6 +17,8 @@ Commands:
 - ``run <graph-path>``      -- execute a serialized GIR on a random input
 - ``trace <model>``         -- run one traced inference, write Perfetto JSON
 - ``lint <model|path>``     -- run the static analyzers; non-zero exit on errors
+- ``explore``               -- design-space sweep with an energy/area Pareto
+  frontier (``--grid``/``--models``/``--json``/``--csv``)
 """
 
 from __future__ import annotations
@@ -657,6 +659,38 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_explore(args) -> int:
+    from repro.explore import DEFAULT_GRID, enumerate_grid, parse_grid, run_sweep
+
+    try:
+        axes = parse_grid(args.grid) if args.grid else DEFAULT_GRID
+        points = enumerate_grid(axes)
+    except ValueError as error:
+        print(f"bad --grid: {error}", file=sys.stderr)
+        return 2
+    models = tuple(m.strip() for m in args.models.split(",") if m.strip())
+    try:
+        result = run_sweep(
+            points,
+            models=models,
+            seed=args.seed,
+            execute_queries=args.execute,
+        )
+    except KeyError as error:
+        print(error.args[0], file=sys.stderr)
+        return 2
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(result.to_json() + "\n")
+        print(f"wrote {args.json}")
+    if args.csv:
+        with open(args.csv, "w") as handle:
+            handle.write(result.to_csv())
+        print(f"wrote {args.csv}")
+    print(result.render(top=args.top))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Ncore/CHA reproduction toolkit"
@@ -784,6 +818,32 @@ def build_parser() -> argparse.ArgumentParser:
                              help="use (and persist) an on-disk compile cache")
     compile_cmd.add_argument("--seed", type=int, default=0,
                              help="calibration seed for the quantized zoo path")
+    explore = sub.add_parser(
+        "explore",
+        help="sweep design points; report the energy/area Pareto frontier",
+    )
+    explore.add_argument(
+        "--grid", metavar="SPEC",
+        help="axes to sweep, e.g. 'slices=8,16,32 clock_ghz=2.0,2.5' "
+             "(default: the stock 324-point grid)",
+    )
+    explore.add_argument(
+        "--models", default="mobilenet_v1",
+        help="comma-separated zoo models to score (default: mobilenet_v1)",
+    )
+    explore.add_argument("--json", metavar="PATH",
+                         help="write the full result set as JSON")
+    explore.add_argument("--csv", metavar="PATH",
+                         help="write the per-point table as CSV")
+    explore.add_argument("--seed", type=int, default=0,
+                         help="seed for the execution bit-equality check")
+    explore.add_argument(
+        "--execute", type=int, default=0, metavar="N",
+        help="run N queries at the best point through the cycle-level "
+             "runtime and assert bit-equality with the reference executor",
+    )
+    explore.add_argument("--top", type=int, default=20,
+                         help="show only the best N feasible points (0 = all)")
     run_cmd = sub.add_parser("run", help="run a zoo model or serialized GIR")
     run_cmd.add_argument(
         "path",
@@ -812,6 +872,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "trace": _cmd_trace,
     "lint": _cmd_lint,
+    "explore": _cmd_explore,
 }
 
 

@@ -22,7 +22,7 @@ from repro.isa import Instruction
 from repro.ncore.machine import MachineRunResult, Ncore
 
 #: Default interleave granularity (cycles per engine turn).
-DEFAULT_BUDGET_CYCLES = 4096
+DEFAULT_BUDGET_CYCLES = 4096  # row-bytes-ok: a cycle budget, not a row width
 
 
 @dataclass

@@ -1,0 +1,49 @@
+"""Design-space exploration: config sweeps with energy/area Pareto frontiers.
+
+The paper motivates Ncore's slice-based construction with exactly this kind
+of study: "adding or removing slices alters Ncore's breadth, while
+increasing or decreasing SRAM capacity alters Ncore's height" (section
+IV-B), and the CHA substrate fixes the ring width, DDR channel count and
+clock the coprocessor must live with.  This package turns the now
+config-parametric stack into a sweep driver:
+
+- :mod:`repro.explore.space`  -- the design points and grid enumeration;
+- :mod:`repro.explore.energy` -- a coarse energy/area model (documented
+  coefficients, calibrated to the shipped CHA point);
+- :mod:`repro.explore.sweep`  -- the driver: compile the model zoo at every
+  point through the compile cache, score perf/power/area, and emit the
+  deterministic Pareto frontier (``repro explore``).
+"""
+
+from __future__ import annotations
+
+from repro.explore.energy import AreaBreakdown, EnergyBreakdown, area_model, energy_model
+from repro.explore.space import (
+    DEFAULT_GRID,
+    DesignPoint,
+    enumerate_grid,
+    parse_grid,
+)
+from repro.explore.sweep import (
+    ModelMetrics,
+    PointResult,
+    SweepResult,
+    pareto_frontier,
+    run_sweep,
+)
+
+__all__ = [
+    "AreaBreakdown",
+    "DEFAULT_GRID",
+    "DesignPoint",
+    "EnergyBreakdown",
+    "ModelMetrics",
+    "PointResult",
+    "SweepResult",
+    "area_model",
+    "energy_model",
+    "enumerate_grid",
+    "parse_grid",
+    "pareto_frontier",
+    "run_sweep",
+]

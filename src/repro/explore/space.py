@@ -1,0 +1,139 @@
+"""The design space: one point = one (NcoreConfig, SocConfig) pair.
+
+A :class:`DesignPoint` names the five knobs the sweep driver varies — Ncore
+breadth (slices) and height (SRAM rows), ring width, DDR channel count and
+the shared clock — and knows how to materialize the two config dataclasses
+the rest of the stack consumes.  Points are frozen and hashable so they can
+key result tables, and their ``label`` is stable across runs (it is the
+identity used in JSON/CSV output and Pareto listings).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Mapping, Sequence
+
+from repro.ncore.config import CHA_NCORE, NcoreConfig
+from repro.soc.config import SocConfig
+
+#: Axis names in canonical order; grid enumeration and labels follow it.
+AXES: tuple[str, ...] = ("slices", "sram_rows", "ring_width_bits", "ddr_channels", "clock_ghz")
+
+#: The stock grid ``repro explore`` sweeps when no ``--grid`` is given:
+#: breadth and height around the shipped point, half/double ring and DDR,
+#: and the clock corners.  324 points; the compile cache keeps it cheap.
+DEFAULT_GRID: dict[str, tuple[float, ...]] = {
+    "slices": (8, 16, 24, 32),
+    "sram_rows": (
+        CHA_NCORE.sram_rows // 2,
+        CHA_NCORE.sram_rows,
+        CHA_NCORE.sram_rows * 2,
+    ),
+    "ring_width_bits": (256, 512, 1024),
+    "ddr_channels": (2, 4, 8),
+    "clock_ghz": (2.0, 2.5, 3.0),
+}
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One candidate configuration of the CHA SoC + Ncore."""
+
+    slices: int = 16
+    sram_rows: int = CHA_NCORE.sram_rows
+    ring_width_bits: int = 512
+    ddr_channels: int = 4
+    clock_ghz: float = 2.5
+
+    def __post_init__(self) -> None:
+        if self.clock_ghz <= 0:
+            raise ValueError("clock must be positive")
+        # Delegate the remaining validation to the config dataclasses.
+        self.ncore_config()
+        self.soc_config()
+
+    @property
+    def clock_hz(self) -> float:
+        return self.clock_ghz * 1e9
+
+    def ncore_config(self) -> NcoreConfig:
+        return NcoreConfig(
+            slices=self.slices, sram_rows=self.sram_rows, clock_hz=self.clock_hz
+        )
+
+    def soc_config(self) -> SocConfig:
+        return SocConfig(
+            ring_width_bits=self.ring_width_bits,
+            ddr_channels=self.ddr_channels,
+            clock_hz=self.clock_hz,
+        )
+
+    @property
+    def label(self) -> str:
+        """Stable identity, e.g. ``s16-r2048-w512-d4-c2.50``."""
+        return (
+            f"s{self.slices}-r{self.sram_rows}-w{self.ring_width_bits}"
+            f"-d{self.ddr_channels}-c{self.clock_ghz:.2f}"
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "slices": self.slices,
+            "sram_rows": self.sram_rows,
+            "ring_width_bits": self.ring_width_bits,
+            "ddr_channels": self.ddr_channels,
+            "clock_ghz": self.clock_ghz,
+        }
+
+
+def parse_grid(spec: str) -> dict[str, tuple[float, ...]]:
+    """Parse a ``--grid`` spec like ``"slices=8,16,32 sram_rows=1024"``.
+
+    Axes are space- or semicolon-separated ``name=v1,v2,...`` terms; any
+    axis not named keeps its single default value (the shipped point), so a
+    spec naming one axis sweeps just that axis.  Unknown axis names raise.
+    """
+    axes: dict[str, tuple[float, ...]] = {}
+    for term in spec.replace(";", " ").split():
+        name, _, values = term.partition("=")
+        if name not in AXES:
+            raise ValueError(f"unknown sweep axis {name!r} (expected one of {AXES})")
+        if not values:
+            raise ValueError(f"axis {name!r} needs =v1,v2,... values")
+        axes[name] = tuple(float(v) for v in values.split(","))
+    if not axes:
+        raise ValueError("empty grid spec")
+    return axes
+
+
+def enumerate_grid(axes: Mapping[str, Sequence[float]]) -> tuple[DesignPoint, ...]:
+    """Cartesian product of the given axes, in canonical ``AXES`` order.
+
+    Deterministic: the same mapping always yields the same point sequence.
+    """
+    default = DesignPoint()
+    for name in axes:
+        if name not in AXES:
+            raise ValueError(f"unknown sweep axis {name!r} (expected one of {AXES})")
+    columns: list[tuple[float, ...]] = []
+    for name in AXES:
+        values = axes.get(name)
+        if values is None:
+            columns.append((float(getattr(default, name)),))
+        elif len(values) == 0:
+            raise ValueError(f"axis {name!r} has no values")
+        else:
+            columns.append(tuple(float(v) for v in values))
+    points: list[DesignPoint] = []
+    for combo in product(*columns):
+        points.append(
+            DesignPoint(
+                slices=int(combo[0]),
+                sram_rows=int(combo[1]),
+                ring_width_bits=int(combo[2]),
+                ddr_channels=int(combo[3]),
+                clock_ghz=combo[4],
+            )
+        )
+    return tuple(points)

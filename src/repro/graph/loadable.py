@@ -17,6 +17,7 @@ import numpy as np
 from repro.graph.gir import Graph
 from repro.graph.partitioner import Segment
 from repro.graph.planner import MemoryPlan
+from repro.ncore.config import CHA_NCORE
 
 
 @dataclass
@@ -31,13 +32,14 @@ class KernelInvocation:
     weight_bytes: int = 0
     output_tensor: str = ""
     meta: dict[str, Any] = field(default_factory=dict)
+    lanes: int = CHA_NCORE.lanes  # SIMD width the kernel was lowered for
 
     @property
     def utilization(self) -> float:
-        """MAC-lane utilization of this kernel (1.0 = all 4096 busy)."""
+        """MAC-lane utilization of this kernel (1.0 = all lanes busy)."""
         if self.cycles == 0:
             return 0.0
-        return self.macs / (self.cycles * 4096)
+        return self.macs / (self.cycles * self.lanes)
 
 
 @dataclass
@@ -77,10 +79,10 @@ class NcoreLoadable:
 
     @property
     def mean_utilization(self) -> float:
-        cycles = self.compute_cycles
-        if cycles == 0:
+        lane_cycles = sum(k.cycles * k.lanes for k in self.kernels)
+        if lane_cycles == 0:
             return 0.0
-        return sum(k.macs for k in self.kernels) / (cycles * 4096)
+        return sum(k.macs for k in self.kernels) / lane_cycles
 
 
 @dataclass

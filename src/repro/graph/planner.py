@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 
 from repro.graph.gir import Graph
 from repro.graph.partitioner import Segment
-from repro.ncore.config import NcoreConfig
+from repro.ncore.config import CHA_NCORE, NcoreConfig
 
 
 class PlanningError(RuntimeError):
@@ -59,10 +59,11 @@ class MemoryPlan:
     prefetches: list[Prefetch] = field(default_factory=list)
     data_rows_used: int = 0
     weight_rows_used: int = 0
+    row_bytes: int = CHA_NCORE.row_bytes  # RAM row width the plan assumed
 
     @property
     def weight_bytes(self) -> int:
-        return sum(r.rows for r in self.weight_allocs.values()) * 4096
+        return sum(r.rows for r in self.weight_allocs.values()) * self.row_bytes
 
 
 def _rows_for(graph: Graph, tensor_name: str, row_bytes: int) -> int:
@@ -145,8 +146,8 @@ def plan_memory(
 ) -> MemoryPlan:
     """Place one Ncore segment's tensors into the scratchpad RAMs."""
     config = config or NcoreConfig()
-    plan = MemoryPlan()
     row_bytes = config.row_bytes
+    plan = MemoryPlan(row_bytes=row_bytes)
 
     # --- activations: linear scan over live ranges in the data RAM ---
     ranges = _live_ranges(graph, segment)

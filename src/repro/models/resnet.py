@@ -18,7 +18,7 @@ _STAGES = [
     (3, 64, 256),
     (4, 128, 512),
     (6, 256, 1024),
-    (3, 512, 2048),
+    (3, 512, 2048),  # row-bytes-ok: ResNet-50 stage widths, not a row width
 ]
 
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 ROW_BYTES_PER_SLICE = 256  # each slice is 256 bytes wide (section IV-B)
+BROADCAST_GROUP_LANES = 64  # lanes per broadcast group (section IV-D.3)
 
 
 @dataclass(frozen=True)
@@ -41,6 +42,13 @@ class NcoreConfig:
     def lanes(self) -> int:
         """Byte-wise execution lanes (= MAC units), 4096 in CHA."""
         return self.row_bytes
+
+    @property
+    def broadcast_groups(self) -> int:
+        """Broadcast groups per row (64 in CHA): each group is 64 lanes
+        serving one output channel, so this is the channel parallelism of
+        one W x K pass.  Scales with ``slices`` — breadth adds groups."""
+        return self.row_bytes // BROADCAST_GROUP_LANES
 
     @property
     def data_ram_bytes(self) -> int:

@@ -159,7 +159,7 @@ class DmaEngine:
     ) -> int:
         """Begin a transfer; returns the cycle at which it completes."""
         ram = weight_ram if descriptor.target_weight_ram else data_ram
-        length = descriptor.num_bytes
+        length = descriptor.rows * ram.row_bytes
         dram_addr = self._translate(descriptor.dram_addr, length)
         ram_offset = descriptor.ram_row * ram.row_bytes
         cycles = self.memory.transfer_cycles(length)

@@ -42,6 +42,7 @@ from repro.isa.instruction import (
     SeqOpcode,
 )
 from repro.isa.operands import NUM_ADDR_REGS, Operand, OperandKind
+from repro.ncore.config import CHA_NCORE
 from repro.ncore.ndu import BROADCAST_GROUP
 from repro.ncore.npu import SLICE_LANES
 from repro.obs.metrics import get_metrics
@@ -57,9 +58,11 @@ Array = npt.NDArray[Any]
 #: dlast's slot in the 5-element state vector (after NDU registers n0..n3).
 _DLAST = 4
 
-#: Flat issues per execution block: bounds peak matrix memory while keeping
-#: the vectorization factor high enough that numpy dominates dispatch cost.
-_BLOCK_ISSUES = 1024
+#: Flat bytes of issue state per execution block: bounds peak matrix memory
+#: while keeping the vectorization factor high enough that numpy dominates
+#: dispatch cost.  Equals 1024 issues at the CHA row width; wider configs
+#: get proportionally fewer issues per block so memory stays bounded.
+_BLOCK_TARGET_BYTES = 1024 * CHA_NCORE.row_bytes
 
 #: Compile-time cap on issues per trip (keeps trace compilation O(small)).
 _MAX_TRIP_ISSUES = 256
@@ -929,7 +932,8 @@ class FusedTrace:
         """
         if self.prologue_cycles:
             self._commit_counters(machine, 0, prologue=True)
-        per_block = max(1, _BLOCK_ISSUES // max(1, self.issues_per_trip))
+        block_issues = max(1, _BLOCK_TARGET_BYTES // max(1, self.row_bytes))
+        per_block = max(1, block_issues // max(1, self.issues_per_trip))
         done = 0
         while done < count:
             nb = min(per_block, count - done)

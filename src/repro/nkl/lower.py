@@ -41,45 +41,49 @@ def _node_dtype(graph: Graph, node: Node) -> NcoreDType:
     return dtype
 
 
-def _schedule_node(graph: Graph, node: Node) -> KernelSchedule:
+def _schedule_node(
+    graph: Graph, node: Node, config: NcoreConfig | None = None
+) -> KernelSchedule:
     dtype = _node_dtype(graph, node)
     out_shape = graph.tensor(node.outputs[0]).shape
     if node.op == "conv2d":
         w = graph.tensor(node.inputs[1]).shape  # (kh, kw, cin, cout)
         n, h, wd, k = out_shape
-        return conv2d_schedule(w[2], k, h, wd, w[0], w[1], dtype, batch=n)
+        return conv2d_schedule(w[2], k, h, wd, w[0], w[1], dtype, batch=n, config=config)
     if node.op == "depthwise_conv2d":
         w = graph.tensor(node.inputs[1]).shape  # (kh, kw, c)
         n, h, wd, c = out_shape
-        return depthwise_schedule(c, h, wd, w[0], w[1], dtype, batch=n)
+        return depthwise_schedule(c, h, wd, w[0], w[1], dtype, batch=n, config=config)
     if node.op == "fully_connected":
         w = graph.tensor(node.inputs[1]).shape  # (in, out)
         rows = int(np.prod(out_shape[:-1]))
-        return matmul_schedule(rows, w[0], w[1], dtype)
+        return matmul_schedule(rows, w[0], w[1], dtype, config=config)
     if node.op in ("max_pool", "avg_pool"):
         n, h, wd, c = out_shape
         kh, kw = node.attrs["ksize"]
-        return pool_schedule(c, h, wd, kh, kw, dtype, batch=n)
+        return pool_schedule(c, h, wd, kh, kw, dtype, batch=n, config=config)
     if node.op == "mean":
         # Global spatial mean: a full-window average pool.
         in_shape = graph.tensor(node.inputs[0]).shape
-        return pool_schedule(in_shape[3], 1, 1, in_shape[1], in_shape[2], dtype)
+        return pool_schedule(
+            in_shape[3], 1, 1, in_shape[1], in_shape[2], dtype, config=config
+        )
     if node.op in ("add", "mul", "relu", "relu6", "tanh", "sigmoid", "concat", "identity", "slice"):
         elements = int(np.prod(out_shape))
-        return elementwise_schedule(elements, dtype)
+        return elementwise_schedule(elements, dtype, config=config)
     if node.op in ("quantize", "dequantize"):
         elements = int(np.prod(out_shape))
-        return elementwise_schedule(elements, dtype, ops_per_row=2)
+        return elementwise_schedule(elements, dtype, ops_per_row=2, config=config)
     if node.op == "lstm_cell":
         x_shape = graph.tensor(node.inputs[0]).shape
         hidden = graph.tensor(node.outputs[0]).shape[-1]
-        return lstm_schedule(x_shape[0], x_shape[-1], hidden, dtype)
+        return lstm_schedule(x_shape[0], x_shape[-1], hidden, dtype, config=config)
     if node.op == "attention":
         keys = graph.tensor(node.inputs[1]).shape  # (n, time, hidden)
         n, time, hidden = keys
-        score = matmul_schedule(n * time, hidden, 1, dtype)
-        context = matmul_schedule(n, time, hidden, dtype)
-        softmax_rows = elementwise_schedule(n * time, dtype, ops_per_row=4)
+        score = matmul_schedule(n * time, hidden, 1, dtype, config=config)
+        context = matmul_schedule(n, time, hidden, dtype, config=config)
+        softmax_rows = elementwise_schedule(n * time, dtype, ops_per_row=4, config=config)
         return KernelSchedule(
             kernel="attention",
             passes=score.passes + context.passes + softmax_rows.passes,
@@ -89,6 +93,7 @@ def _schedule_node(graph: Graph, node: Node) -> KernelSchedule:
             macs=score.macs + context.macs,
             weight_bytes=0,
             dtype=dtype,
+            lanes=score.lanes,
         )
     raise UnsupportedOpError(f"no NKL kernel for op {node.op!r}")
 
@@ -157,7 +162,7 @@ def lower_segment(
         plan = plan_memory(graph, segment, config)
     loadable = NcoreLoadable(name=name, segment=segment, memory_plan=plan)
     for node in segment.nodes:
-        schedule = _schedule_node(graph, node)
+        schedule = _schedule_node(graph, node, config)
         loadable.kernels.append(
             KernelInvocation(
                 node_name=node.name,
@@ -167,6 +172,7 @@ def lower_segment(
                 macs=schedule.macs,
                 weight_bytes=_weight_bytes(graph, node, compress_sparse_weights),
                 output_tensor=node.outputs[0],
+                lanes=schedule.lanes,
                 meta={
                     "passes": schedule.passes,
                     "inner_cycles": schedule.inner_cycles,

@@ -27,10 +27,13 @@ import numpy as np
 from repro.dtypes import ChannelQuantParams, QuantParams, quantize_multiplier
 from repro.isa import Instruction, assemble
 from repro.ncore import Ncore
+from repro.ncore.config import CHA_NCORE
 from repro.nkl.schedule import BROADCAST_GROUP
 
-ROW_BYTES = 4096
-GROUPS = ROW_BYTES // BROADCAST_GROUP  # 64 groups per row
+# The shipped CHA geometry; per-machine programs read the same quantities
+# from ``machine.config`` so a narrower or wider Ncore stages correctly.
+ROW_BYTES = CHA_NCORE.row_bytes
+GROUPS = CHA_NCORE.broadcast_groups  # 64 groups per row in CHA
 
 
 class ProgramShapeError(ValueError):
@@ -47,22 +50,27 @@ def _configure_activation(machine: Ncore, activation: str, output_qp: QuantParam
     return {"none": "", "relu": " relu", "relu6": " relu6"}[activation]
 
 
-def tile_data_row(values: np.ndarray) -> np.ndarray:
-    """Tile up to 64 spatial values of one channel across all 64 groups."""
+def tile_data_row(values: np.ndarray, row_bytes: int = ROW_BYTES) -> np.ndarray:
+    """Tile up to 64 spatial values of one channel across every group."""
     values = np.asarray(values, dtype=np.uint8)
     if values.size > BROADCAST_GROUP:
         raise ProgramShapeError("a data row tiles at most 64 spatial positions")
     tile = np.zeros(BROADCAST_GROUP, dtype=np.uint8)
     tile[: values.size] = values
-    return np.tile(tile, GROUPS)
+    return np.tile(tile, row_bytes // BROADCAST_GROUP)
 
 
-def pack_weight_row(weights: np.ndarray) -> np.ndarray:
-    """Pack a (out_channels<=64, reduction<=64) weight block into one row."""
+def pack_weight_row(weights: np.ndarray, row_bytes: int = ROW_BYTES) -> np.ndarray:
+    """Pack a (out_channels, reduction<=64) weight block into one row; the
+    channel count is bounded by the row's broadcast-group count."""
     weights = np.asarray(weights, dtype=np.uint8)
-    if weights.ndim != 2 or weights.shape[0] > GROUPS or weights.shape[1] > BROADCAST_GROUP:
-        raise ProgramShapeError("weight blocks are at most 64 x 64 per row")
-    row = np.zeros(ROW_BYTES, dtype=np.uint8)
+    groups = row_bytes // BROADCAST_GROUP
+    if weights.ndim != 2 or weights.shape[0] > groups or weights.shape[1] > BROADCAST_GROUP:
+        raise ProgramShapeError(
+            f"weight blocks are at most {groups} x {BROADCAST_GROUP} per "
+            f"{row_bytes}-byte row"
+        )
+    row = np.zeros(row_bytes, dtype=np.uint8)
     k, c = weights.shape
     for g in range(k):
         row[g * BROADCAST_GROUP : g * BROADCAST_GROUP + c] = weights[g]
@@ -79,8 +87,9 @@ class WkPassResult:
 
     def read(self, machine: Ncore) -> np.ndarray:
         """Read back the (spatial, out_channels) result tile."""
+        row_bytes = machine.config.row_bytes
         row = np.frombuffer(
-            machine.read_data_ram(self.output_row * ROW_BYTES, ROW_BYTES), np.uint8
+            machine.read_data_ram(self.output_row * row_bytes, row_bytes), np.uint8
         )
         out = np.empty((self.spatial, self.out_channels), dtype=np.uint8)
         for k in range(self.out_channels):
@@ -110,26 +119,31 @@ def emit_matmul_program(
     """
     m, c = data.shape
     c2, n = weights.shape
+    row_bytes = machine.config.row_bytes
+    groups = machine.config.broadcast_groups
     if c != c2:
         raise ProgramShapeError("matmul reduction dims disagree")
-    if m > BROADCAST_GROUP or n > GROUPS:
-        raise ProgramShapeError("one pass handles at most 64 rows x 64 columns")
+    if m > BROADCAST_GROUP or n > groups:
+        raise ProgramShapeError(
+            f"one pass handles at most {BROADCAST_GROUP} rows x {groups} columns"
+        )
     if c > machine.config.sram_rows - data_row_base:
         raise ProgramShapeError("reduction depth exceeds data RAM rows")
     # Stage data: one row per reduction index c, M values tiled.
     for ci in range(c):
         machine.write_data_ram(
-            (data_row_base + ci) * ROW_BYTES, tile_data_row(data[:, ci]).tobytes()
+            (data_row_base + ci) * row_bytes,
+            tile_data_row(data[:, ci], row_bytes).tobytes(),
         )
     # Stage weights: weight rows pack (N x 64) reduction slices.
     weight_rows = -(-c // BROADCAST_GROUP)
-    wt = np.zeros((weight_rows, ROW_BYTES), dtype=np.uint8)
+    wt = np.zeros((weight_rows, row_bytes), dtype=np.uint8)
     for ci in range(c):
         row, idx = divmod(ci, BROADCAST_GROUP)
         for g in range(n):
             wt[row, g * BROADCAST_GROUP + idx] = weights[ci, g]
     for r in range(weight_rows):
-        machine.write_weight_ram((weight_row_base + r) * ROW_BYTES, wt[r].tobytes())
+        machine.write_weight_ram((weight_row_base + r) * row_bytes, wt[r].tobytes())
     # Requantization config: M = s_in * s_w / s_out.  Per-channel weight
     # parameters program the per-lane registers: lane (g*64 + m) carries
     # output column g's multiplier/shift (section IV-D.5's per-lane
@@ -201,12 +215,14 @@ def emit_conv1d_rotate_program(
     """
     k, taps = weights.shape
     w_out = data.size - taps + 1
+    row_bytes = machine.config.row_bytes
+    groups = machine.config.broadcast_groups
     if w_out < 1 or data.size > BROADCAST_GROUP:
         raise ProgramShapeError("the halo'd input must fit one 64-lane tile")
-    if k > GROUPS:
-        raise ProgramShapeError("at most 64 output channels per pass")
-    machine.write_data_ram(0, tile_data_row(data).tobytes())
-    machine.write_weight_ram(0, pack_weight_row(weights).tobytes())
+    if k > groups:
+        raise ProgramShapeError(f"at most {groups} output channels per pass")
+    machine.write_data_ram(0, tile_data_row(data, row_bytes).tobytes())
+    machine.write_weight_ram(0, pack_weight_row(weights, row_bytes).tobytes())
     mult, shift = quantize_multiplier(
         input_qp.scale * weight_qp.scale / output_qp.scale
     )
@@ -293,11 +309,13 @@ def emit_tiled_matmul_program(
     """
     m, c = data.shape
     c2, n = weights.shape
+    row_bytes = machine.config.row_bytes
+    groups = machine.config.broadcast_groups
     if c != c2:
         raise ProgramShapeError("matmul reduction dims disagree")
     weight_rows_per_tile = -(-c // BROADCAST_GROUP)
     m_tiles = -(-m // BROADCAST_GROUP)
-    n_tiles = -(-n // GROUPS)
+    n_tiles = -(-n // groups)
     data_rows_per_tile = c
     needed_rows = m_tiles * data_rows_per_tile + m_tiles * n_tiles  # data + outputs
     if needed_rows > machine.config.sram_rows:
@@ -307,19 +325,20 @@ def emit_tiled_matmul_program(
         chunk = data[mt * BROADCAST_GROUP : (mt + 1) * BROADCAST_GROUP]
         for ci in range(c):
             machine.write_data_ram(
-                (mt * c + ci) * ROW_BYTES, tile_data_row(chunk[:, ci]).tobytes()
+                (mt * c + ci) * row_bytes,
+                tile_data_row(chunk[:, ci], row_bytes).tobytes(),
             )
     # Stage weights: per n-tile, packed reduction slices.
     for nt in range(n_tiles):
-        cols = weights[:, nt * GROUPS : (nt + 1) * GROUPS]
-        wt = np.zeros((weight_rows_per_tile, ROW_BYTES), dtype=np.uint8)
+        cols = weights[:, nt * groups : (nt + 1) * groups]
+        wt = np.zeros((weight_rows_per_tile, row_bytes), dtype=np.uint8)
         for ci in range(c):
             row, idx = divmod(ci, BROADCAST_GROUP)
             for g in range(cols.shape[1]):
                 wt[row, g * BROADCAST_GROUP + idx] = cols[ci, g]
         for r in range(weight_rows_per_tile):
             machine.write_weight_ram(
-                (nt * weight_rows_per_tile + r) * ROW_BYTES, wt[r].tobytes()
+                (nt * weight_rows_per_tile + r) * row_bytes, wt[r].tobytes()
             )
     mult, shift = quantize_multiplier(
         input_qp.scale * weight_qp.scale / output_qp.scale
@@ -334,7 +353,7 @@ def emit_tiled_matmul_program(
     for mt in range(m_tiles):
         m_size = min(BROADCAST_GROUP, m - mt * BROADCAST_GROUP)
         for nt in range(n_tiles):
-            n_size = min(GROUPS, n - nt * GROUPS)
+            n_size = min(groups, n - nt * groups)
             # Zero the accumulators by a non-accumulating MAC with zero.
             lines.append("mac.uint8 zero, zero, noacc")
             lines.append(f"setaddr a0, {mt * c}")
@@ -355,7 +374,7 @@ def emit_tiled_matmul_program(
                 "store a6",
             ]
             tiles.append(
-                (mt * BROADCAST_GROUP, nt * GROUPS, WkPassResult(out_row, m_size, n_size))
+                (mt * BROADCAST_GROUP, nt * groups, WkPassResult(out_row, m_size, n_size))
             )
             out_row += 1
     lines.append("halt")
@@ -375,12 +394,13 @@ def emit_max_pool_rows_program(
     """
     rows = np.asarray(rows, dtype=np.uint8)
     count, width = rows.shape
-    if width != ROW_BYTES:
-        raise ProgramShapeError("pooling rows must be full 4096-byte rows")
+    row_bytes = machine.config.row_bytes
+    if width != row_bytes:
+        raise ProgramShapeError(f"pooling rows must be full {row_bytes}-byte rows")
     if output_row is None:
         output_row = count + 1
     for i in range(count):
-        machine.write_data_ram(i * ROW_BYTES, rows[i].tobytes())
+        machine.write_data_ram(i * row_bytes, rows[i].tobytes())
     machine.set_requant(1 << 30, -1, 0)  # identity requant
     source = f"""
     setaddr a0, 0
@@ -412,8 +432,9 @@ def emit_elementwise_add_program(
     """
     a = np.asarray(a, dtype=np.uint8)
     b = np.asarray(b, dtype=np.uint8)
-    if a.shape != (ROW_BYTES,) or b.shape != (ROW_BYTES,):
-        raise ProgramShapeError("elementwise rows must be full 4096-byte rows")
+    row_bytes = machine.config.row_bytes
+    if a.shape != (row_bytes,) or b.shape != (row_bytes,):
+        raise ProgramShapeError(f"elementwise rows must be full {row_bytes}-byte rows")
     machine.write_data_ram(0, a.tobytes())
     machine.write_weight_ram(0, b.tobytes())
     mult, shift = quantize_multiplier(qp.scale / output_qp.scale)
@@ -439,10 +460,11 @@ class Conv2dResult:
     out_channels: int
 
     def read(self, machine: Ncore) -> np.ndarray:
+        row_bytes = machine.config.row_bytes
         out = np.empty((1, self.h_out, self.w_out, self.out_channels), dtype=np.uint8)
         for y in range(self.h_out):
             row = np.frombuffer(
-                machine.read_data_ram((self.output_base + y) * ROW_BYTES, ROW_BYTES),
+                machine.read_data_ram((self.output_base + y) * row_bytes, row_bytes),
                 np.uint8,
             )
             for k in range(self.out_channels):
@@ -498,8 +520,10 @@ def emit_conv2d_program(
         raise ProgramShapeError("output width must fit one 64-lane tile")
     if kh * kw * cin > BROADCAST_GROUP:
         raise ProgramShapeError("kh * kw * cin must fit one weight index range")
-    if cout > GROUPS:
-        raise ProgramShapeError("at most 64 output channels per pass")
+    row_bytes = machine.config.row_bytes
+    groups = machine.config.broadcast_groups
+    if cout > groups:
+        raise ProgramShapeError(f"at most {groups} output channels per pass")
     # Stage padded input as phase tiles: one row per (y, c, phase).
     zp = input_qp.zero_point & 0xFF
     padded = np.full((h_pad, w_pad, cin), zp, dtype=np.uint8)
@@ -513,8 +537,8 @@ def emit_conv2d_program(
                 cols = padded[y, phase::sw, c]
                 tile[: min(cols.size, BROADCAST_GROUP)] = cols[:BROADCAST_GROUP]
                 machine.write_data_ram(
-                    data_row(y, c, phase) * ROW_BYTES,
-                    np.tile(tile, GROUPS).tobytes(),
+                    data_row(y, c, phase) * row_bytes,
+                    np.tile(tile, groups).tobytes(),
                 )
     # Stage weights in the exact order the broadcast index walks them:
     # (filter_y, in_channel, phase, taps within the phase ascending).
@@ -524,7 +548,7 @@ def emit_conv2d_program(
             for phase in range(sw):
                 for s_tap in range(phase, kw, sw):
                     tap_order.append((r, c, s_tap))
-    wrow = np.zeros(ROW_BYTES, dtype=np.uint8)
+    wrow = np.zeros(row_bytes, dtype=np.uint8)
     for k in range(cout):
         for idx, (r, c, s_tap) in enumerate(tap_order):
             wrow[k * BROADCAST_GROUP + idx] = weights[r, s_tap, c, k]
@@ -620,10 +644,12 @@ def emit_depthwise_program(
     w_pad = w + pl + pr
     h_pad = h + pt + pb
     h_out, w_out = h_pad - kh + 1, w_pad - kw + 1
+    row_bytes = machine.config.row_bytes
+    groups = machine.config.broadcast_groups
     if w_pad > BROADCAST_GROUP:
         raise ProgramShapeError("padded width must fit one 64-lane tile")
-    if c > GROUPS:
-        raise ProgramShapeError("at most 64 channels per pass")
+    if c > groups:
+        raise ProgramShapeError(f"at most {groups} channels per pass")
     if kh * kw > BROADCAST_GROUP:
         raise ProgramShapeError("kh * kw must fit one weight index range")
     zp = input_qp.zero_point & 0xFF
@@ -631,12 +657,12 @@ def emit_depthwise_program(
     padded[pt : pt + h, pl : pl + w, :] = x[0]
     # Data rows: group g of row y holds channel g's padded input row.
     for y in range(h_pad):
-        row = np.full(ROW_BYTES, zp, dtype=np.uint8)
+        row = np.full(row_bytes, zp, dtype=np.uint8)
         for g in range(c):
             row[g * BROADCAST_GROUP : g * BROADCAST_GROUP + w_pad] = padded[y, :, g]
-        machine.write_data_ram(y * ROW_BYTES, row.tobytes())
+        machine.write_data_ram(y * row_bytes, row.tobytes())
     # Weight row: byte [g*64 + (r*kw + s)] holds weight[r, s, g].
-    wrow = np.zeros(ROW_BYTES, dtype=np.uint8)
+    wrow = np.zeros(row_bytes, dtype=np.uint8)
     for g in range(c):
         for r in range(kh):
             for s_tap in range(kw):
@@ -688,12 +714,13 @@ def emit_avg_pool_program(
     """
     rows = np.asarray(rows, dtype=np.uint8)
     count, width = rows.shape
-    if width != ROW_BYTES:
-        raise ProgramShapeError("pooling rows must be full 4096-byte rows")
+    row_bytes = machine.config.row_bytes
+    if width != row_bytes:
+        raise ProgramShapeError(f"pooling rows must be full {row_bytes}-byte rows")
     if output_row is None:
         output_row = count + 1
     for i in range(count):
-        machine.write_data_ram(i * ROW_BYTES, rows[i].tobytes())
+        machine.write_data_ram(i * row_bytes, rows[i].tobytes())
     mult, shift = quantize_multiplier(1.0 / count)
     machine.set_requant(mult, shift, 0)
     source = f"""

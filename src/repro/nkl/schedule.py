@@ -2,17 +2,22 @@
 
 The convolution dataflow (Fig. 7): "One spatial dimension (width or height)
 is selected and rounded up to the nearest power-of-2 ... W x K is
-parallelized over Ncore's 4096 SIMD width."  Concretely, each 4096-byte row
-is treated as 64 broadcast groups of 64 lanes; each group serves one output
-channel, and the 64 lanes of a group cover a tile of spatial positions
-(several output rows at once when the width is small — this is how
-"sufficient parallelism is maintained" as spatial dims shrink and channel
-counts grow with depth).
+parallelized over Ncore's 4096 SIMD width."  Concretely, each row is a set
+of 64-lane broadcast groups (64 groups of 64 lanes at the shipped 16-slice
+point); each group serves one output channel, and the 64 lanes of a group
+cover a tile of spatial positions (several output rows at once when the
+width is small — this is how "sufficient parallelism is maintained" as
+spatial dims shrink and channel counts grow with depth).
 
 The inner loop runs one fused (broadcast + MAC + rotate) instruction per
 (filter_y, filter_x, in_channel) step — one clock at 8 bits (Fig. 6) —
 so the cycle count of a pass is simply the loop-nest volume plus the small
 per-pass epilogue (requantize + store + address setup).
+
+Every schedule function takes an optional :class:`NcoreConfig`; the group
+*size* (64 lanes) is fixed by the broadcast network, while the group
+*count* — the channel parallelism of a pass — and the row width scale with
+``config.slices``.  Omitting the config yields the shipped CHA point.
 """
 
 from __future__ import annotations
@@ -20,10 +25,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.dtypes import NcoreDType, dtype_info
+from repro.ncore.config import BROADCAST_GROUP_LANES, NcoreConfig
 
-BROADCAST_GROUP = 64            # lanes per broadcast group (section IV-D.3)
+BROADCAST_GROUP = BROADCAST_GROUP_LANES  # lanes per group (section IV-D.3)
 PASS_EPILOGUE_CYCLES = 4        # requant + store + address bookkeeping
 KERNEL_SETUP_CYCLES = 32        # per-layer: config registers, loop setup
+
+# The shipped configuration, used when a schedule is requested without an
+# explicit config (4096 lanes, 64 broadcast groups).
+_CHA = NcoreConfig()
 
 
 def _next_pow2(n: int) -> int:
@@ -45,6 +55,7 @@ class KernelSchedule:
     macs: int                    # useful MACs performed
     weight_bytes: int            # weight traffic if streamed
     dtype: NcoreDType = NcoreDType.INT8
+    lanes: int = _CHA.lanes      # SIMD width the schedule was built for
 
     @property
     def cycles(self) -> int:
@@ -60,7 +71,7 @@ class KernelSchedule:
         if self.cycles == 0:
             return 0.0
         issue = dtype_info(self.dtype).npu_cycles
-        peak = 4096 * self.cycles / issue
+        peak = self.lanes * self.cycles / issue
         return min(1.0, self.macs / peak)
 
 
@@ -68,7 +79,9 @@ def _spatial_tiling(h_out: int, w_out: int) -> tuple[int, int, int]:
     """Fig. 7 spatial mapping: returns (passes, valid_per_group, tile_w).
 
     The width is rounded up to the nearest power of two; when that padded
-    width is below 64, a 64-lane group carries several output rows.
+    width is below 64, a 64-lane group carries several output rows.  The
+    spatial map lives inside one broadcast group, so it is independent of
+    the slice count.
     """
     tile_w = min(_next_pow2(w_out), BROADCAST_GROUP)
     rows_per_group = BROADCAST_GROUP // tile_w
@@ -87,14 +100,17 @@ def conv2d_schedule(
     filter_w: int,
     dtype: NcoreDType = NcoreDType.INT8,
     batch: int = 1,
+    config: NcoreConfig | None = None,
 ) -> KernelSchedule:
     """Standard convolution on the W x K mapping.
 
     Inner loop: one fused instruction per (filter_y, filter_x, in_channel),
-    64 output channels and 64 spatial positions per pass.
+    one broadcast group of output channels and 64 spatial positions per
+    pass (64 channels per pass in CHA).
     """
+    config = config or _CHA
     spatial_passes, _, _ = _spatial_tiling(h_out, w_out)
-    channel_passes = -(-out_channels // BROADCAST_GROUP)
+    channel_passes = -(-out_channels // config.broadcast_groups)
     inner = filter_h * filter_w * in_channels
     macs = batch * h_out * w_out * out_channels * inner
     element = dtype_info(dtype).bytes_per_element
@@ -108,6 +124,7 @@ def conv2d_schedule(
         macs=macs,
         weight_bytes=weight_bytes,
         dtype=dtype,
+        lanes=config.lanes,
     )
 
 
@@ -119,11 +136,13 @@ def depthwise_schedule(
     filter_w: int,
     dtype: NcoreDType = NcoreDType.INT8,
     batch: int = 1,
+    config: NcoreConfig | None = None,
 ) -> KernelSchedule:
     """Depthwise convolution: each group is one channel; the inner loop
     covers only the filter taps (no input-channel reduction)."""
+    config = config or _CHA
     spatial_passes, _, _ = _spatial_tiling(h_out, w_out)
-    channel_passes = -(-channels // BROADCAST_GROUP)
+    channel_passes = -(-channels // config.broadcast_groups)
     inner = filter_h * filter_w
     macs = batch * h_out * w_out * channels * inner
     element = dtype_info(dtype).bytes_per_element
@@ -136,6 +155,7 @@ def depthwise_schedule(
         macs=macs,
         weight_bytes=filter_h * filter_w * channels * element,
         dtype=dtype,
+        lanes=config.lanes,
     )
 
 
@@ -144,20 +164,24 @@ def matmul_schedule(
     inner: int,
     cols: int,
     dtype: NcoreDType = NcoreDType.INT8,
+    config: NcoreConfig | None = None,
 ) -> KernelSchedule:
     """Dense matmul (rows, inner) x (inner, cols).
 
     Two implementation strategies, as section IV-E allows ("a number of
     implementation strategies may be used"); the NKL picks the cheaper:
 
-    - *tile mapping* (the 1x1-conv form): 64 rows x 64 columns per pass —
-      efficient for GEMM-shaped work;
+    - *tile mapping* (the 1x1-conv form): 64 rows x one group-count of
+      columns per pass — efficient for GEMM-shaped work;
     - *vector-matrix mapping*: the data element is broadcast across the
-      whole row and all 4096 lanes hold distinct output columns — the
+      whole row and every lane holds a distinct output column — the
       right form for small-batch LSTM/projection steps (GNMT).
     """
-    tile_passes = max(1, -(-rows // BROADCAST_GROUP)) * -(-cols // BROADCAST_GROUP)
-    vector_passes = max(1, rows) * -(-cols // 4096)
+    config = config or _CHA
+    tile_passes = max(1, -(-rows // BROADCAST_GROUP)) * -(
+        -cols // config.broadcast_groups
+    )
+    vector_passes = max(1, rows) * -(-cols // config.lanes)
     passes = min(tile_passes, vector_passes)
     element = dtype_info(dtype).bytes_per_element
     return KernelSchedule(
@@ -169,6 +193,7 @@ def matmul_schedule(
         macs=rows * inner * cols,
         weight_bytes=inner * cols * element,
         dtype=dtype,
+        lanes=config.lanes,
     )
 
 
@@ -180,10 +205,12 @@ def pool_schedule(
     ksize_w: int,
     dtype: NcoreDType = NcoreDType.INT8,
     batch: int = 1,
+    config: NcoreConfig | None = None,
 ) -> KernelSchedule:
     """Max/average pooling: one MIN/MAX/ADD instruction per tap."""
+    config = config or _CHA
     spatial_passes, _, _ = _spatial_tiling(h_out, w_out)
-    channel_passes = -(-channels // BROADCAST_GROUP)
+    channel_passes = -(-channels // config.broadcast_groups)
     return KernelSchedule(
         kernel="pool",
         passes=batch * spatial_passes * channel_passes,
@@ -193,6 +220,7 @@ def pool_schedule(
         macs=0,
         weight_bytes=0,
         dtype=dtype,
+        lanes=config.lanes,
     )
 
 
@@ -200,10 +228,12 @@ def elementwise_schedule(
     num_elements: int,
     dtype: NcoreDType = NcoreDType.INT8,
     ops_per_row: int = 1,
+    config: NcoreConfig | None = None,
 ) -> KernelSchedule:
     """Elementwise add/mul/activation: streams full rows, one op per row."""
+    config = config or _CHA
     element = dtype_info(dtype).bytes_per_element
-    rows = max(1, -(-(num_elements * element) // 4096))
+    rows = max(1, -(-(num_elements * element) // config.row_bytes))
     return KernelSchedule(
         kernel="elementwise",
         passes=rows,
@@ -213,6 +243,7 @@ def elementwise_schedule(
         macs=0,
         weight_bytes=0,
         dtype=dtype,
+        lanes=config.lanes,
     )
 
 
@@ -221,11 +252,13 @@ def lstm_schedule(
     input_size: int,
     hidden: int,
     dtype: NcoreDType = NcoreDType.BF16,
+    config: NcoreConfig | None = None,
 ) -> KernelSchedule:
     """One LSTM step: the stacked (in+hidden, 4*hidden) matmul plus the
     elementwise gate math (a handful of row ops)."""
-    gates = matmul_schedule(batch, input_size + hidden, 4 * hidden, dtype)
-    gate_rows = max(1, -(-(batch * 4 * hidden * 2) // 4096))
+    config = config or _CHA
+    gates = matmul_schedule(batch, input_size + hidden, 4 * hidden, dtype, config=config)
+    gate_rows = max(1, -(-(batch * 4 * hidden * 2) // config.row_bytes))
     return KernelSchedule(
         kernel="lstm_cell",
         passes=gates.passes,
@@ -235,4 +268,5 @@ def lstm_schedule(
         macs=gates.macs,
         weight_bytes=gates.weight_bytes,
         dtype=dtype,
+        lanes=config.lanes,
     )

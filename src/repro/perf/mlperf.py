@@ -109,7 +109,7 @@ def run_single_stream(
 
 def run_offline(
     system: BenchmarkSystem,
-    queries: int = 4096,
+    queries: int = 4096,  # row-bytes-ok: a query count, not a row width
     batch_size: int = 64,
     cores: int = 8,
     seed: int = 0,

@@ -39,6 +39,11 @@ def _fmt(value, digits=2):
     return "-" if value is None else f"{value:,.{digits}f}"
 
 
+def render_table(title: str, header: list[str], rows: list[list]) -> str:
+    """Public fixed-width table renderer (``repro explore`` reuses it)."""
+    return _table(title, header, rows)
+
+
 def generate_report() -> str:
     """Build everything and render the full reproduction report."""
     sections: list[str] = ["Ncore / CHA reproduction report", "=" * 31]

@@ -49,8 +49,9 @@ def fig6_machine(
 ) -> tuple[Ncore, list[Instruction]]:
     """A machine with deterministic RAM contents plus the Fig. 6 program."""
     machine = Ncore(fastpath=fastpath)
-    machine.write_data_ram(0, bytes(np.full(4096, 3, np.uint8)))
-    machine.write_weight_ram(0, bytes(np.full(4096, 2, np.uint8)))
+    row_bytes = machine.config.row_bytes
+    machine.write_data_ram(0, bytes(np.full(row_bytes, 3, np.uint8)))
+    machine.write_weight_ram(0, bytes(np.full(row_bytes, 2, np.uint8)))
     return machine, fig6_program(iterations)
 
 

@@ -31,6 +31,7 @@ from repro.runtime.delegate import (
     _x86_node_cost,
     compile_model,
 )
+from repro.soc.config import SocConfig
 from repro.soc.x86 import X86Core
 
 # Per-offloaded-kernel TensorFlow overhead for the GNMT path (calibrated
@@ -51,11 +52,13 @@ class BenchmarkSystem:
         ncore_config: NcoreConfig | None = None,
         calibration_batches: int = 1,
         build_kwargs: dict | None = None,
+        soc_config: SocConfig | None = None,
     ) -> None:
         self.model_key = model_key
         self.info: ModelInfo = PAPER_CHARACTERISTICS[model_key]
         clock = GNMT_CLOCK_HZ if model_key == "gnmt" else DEFAULT_CLOCK_HZ
         self.config = ncore_config or NcoreConfig(clock_hz=clock)
+        self.soc_config = soc_config or SocConfig()
         self.core = X86Core(clock_hz=DEFAULT_CLOCK_HZ)
 
         graph = self.info.build(**(build_kwargs or {}))
@@ -79,7 +82,13 @@ class BenchmarkSystem:
 
     @property
     def _dma_bytes_per_cycle(self) -> float:
-        return min(160e9, 102.4e9) / self.config.clock_hz
+        # DMA is bottlenecked by the slower of ring and DDR; Ncore consumes
+        # the stream at its own clock (which may differ from the SoC's).
+        bandwidth = min(
+            self.soc_config.ring_bandwidth_per_direction,
+            self.soc_config.ddr_bandwidth,
+        )
+        return bandwidth / self.config.clock_hz
 
     def ncore_seconds(self) -> float:
         """Simulated Ncore portion of one single-batch inference."""

@@ -66,13 +66,16 @@ class NcoreExecutor:
         replay: bool = True,
         replay_capacity: int = 128,
     ) -> None:
+        self.model = model
+        self.soc = soc or ChaSoc()
         if verify:
             from repro.analyze import analyze_model, enforce
 
             with get_tracer().span("executor.verify", track="delegate", model=model.name):
-                enforce(analyze_model(model), context=model.name)
-        self.model = model
-        self.soc = soc or ChaSoc()
+                enforce(
+                    analyze_model(model, config=self.soc.ncore.config),
+                    context=model.name,
+                )
         self.driver = NcoreKernelDriver(self.soc)
         self.driver.probe()
         self.mapping = self.driver.open(owner)

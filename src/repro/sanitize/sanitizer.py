@@ -277,7 +277,7 @@ class Sanitizer:
         self.stats["dma_transfers"] += 1
         self._prune(start_cycle)
         pc = self._pc
-        length = descriptor.num_bytes
+        length = descriptor.rows * row_bytes
         start = descriptor.ram_row * row_bytes
         end = start + length
         if start < 0 or end > ram_rows * row_bytes:

@@ -9,9 +9,10 @@ domain.
 
 from repro.soc.cache import L3Cache
 from repro.soc.cha import ChaSoc
+from repro.soc.config import CHA_SOC, SocConfig
 from repro.soc.memory import DramController
 from repro.soc.multisocket import MultiSocketSystem
-from repro.soc.ring import RingBus, RingStop
+from repro.soc.ring import RingBus, RingStop, ring_order
 from repro.soc.x86 import (
     CNS,
     HASWELL,
@@ -21,6 +22,7 @@ from repro.soc.x86 import (
 )
 
 __all__ = [
+    "CHA_SOC",
     "CNS",
     "ChaSoc",
     "DramController",
@@ -31,5 +33,7 @@ __all__ = [
     "RingBus",
     "RingStop",
     "SKYLAKE_SERVER",
+    "SocConfig",
     "X86Core",
+    "ring_order",
 ]

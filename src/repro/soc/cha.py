@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 from repro.ncore import Ncore, NcoreConfig, NcorePciDevice
 from repro.soc.cache import L3Cache
+from repro.soc.config import SocConfig
 from repro.soc.memory import DramController
 from repro.soc.ring import RingBus, RingStop
 from repro.soc.x86 import CNS, X86Core
@@ -42,16 +43,30 @@ class PciFunction:
 class ChaSoc:
     """One CHA socket."""
 
-    def __init__(self, ncore_config: NcoreConfig | None = None, clock_hz: float = 2.5e9) -> None:
-        self.clock_hz = clock_hz
-        self.ring = RingBus(clock_hz=clock_hz)
-        self.dram = DramController(clock_hz=clock_hz)
-        self.l3 = L3Cache(memory=self.dram)
-        config = ncore_config or NcoreConfig(clock_hz=clock_hz)
+    def __init__(
+        self,
+        ncore_config: NcoreConfig | None = None,
+        clock_hz: float | None = None,
+        soc_config: SocConfig | None = None,
+    ) -> None:
+        if soc_config is None:
+            soc_config = SocConfig(clock_hz=clock_hz if clock_hz is not None else 2.5e9)
+        elif clock_hz is not None and clock_hz != soc_config.clock_hz:
+            raise ValueError("pass the clock through soc_config, not both ways")
+        self.soc_config = soc_config
+        self.clock_hz = soc_config.clock_hz
+        self.ring = RingBus.from_config(soc_config)
+        self.dram = DramController.from_config(soc_config)
+        self.l3 = L3Cache(
+            size_bytes=soc_config.l3_bytes, ways=soc_config.l3_ways, memory=self.dram
+        )
+        config = ncore_config or NcoreConfig(clock_hz=self.clock_hz)
         self.ncore = Ncore(config=config, memory=self.dram)
         # Wire the coherent DMA-through-L3 path (section IV-A).
         self.ncore.dma_read.l3 = self.l3
-        self.cores = [X86Core(CNS, clock_hz=clock_hz) for _ in range(NUM_CORES)]
+        self.cores = [
+            X86Core(CNS, clock_hz=self.clock_hz) for _ in range(soc_config.x86_cores)
+        ]
         self.ncore_pci = NcorePciDevice(sram_bytes=config.total_ram_bytes)
         self._mmio_assigned = False
 
@@ -82,8 +97,7 @@ class ChaSoc:
 
     def core_to_ncore_seconds(self, num_bytes: int, core_index: int = 0) -> float:
         """Latency of an x86 access to Ncore over the ring."""
-        stop = RingStop(f"core{core_index}")
-        return self.ring.transfer_seconds(stop, RingStop.NCORE, num_bytes)
+        return self.ring.transfer_seconds(f"core{core_index}", RingStop.NCORE, num_bytes)
 
     def ncore_to_dram_bandwidth(self) -> float:
         """Sustained Ncore DMA bandwidth: min of ring direction and DRAM."""

@@ -22,16 +22,22 @@ class MultiSocketSystem:
     """N CHA sockets serving one inference workload."""
 
     sockets: int = 2
+    cores_per_socket: int = 8
+    cross_socket_efficiency: float = CROSS_SOCKET_EFFICIENCY
 
     def __post_init__(self) -> None:
         if self.sockets < 1:
             raise ValueError("a system needs at least one socket")
+        if self.cores_per_socket < 1:
+            raise ValueError("a socket needs at least one core")
+        if not 0 < self.cross_socket_efficiency <= 1:
+            raise ValueError("cross-socket efficiency must be in (0, 1]")
 
     def scaling_factor(self) -> float:
         """Effective throughput multiple over one socket."""
         if self.sockets == 1:
             return 1.0
-        return self.sockets * CROSS_SOCKET_EFFICIENCY ** (self.sockets - 1)
+        return self.sockets * self.cross_socket_efficiency ** (self.sockets - 1)
 
     def offline_throughput_ips(self, single_socket_ips: float) -> float:
         """Offline throughput: queries shard across sockets."""
@@ -43,7 +49,7 @@ class MultiSocketSystem:
         return single_socket_latency
 
     def total_x86_cores(self) -> int:
-        return 8 * self.sockets
+        return self.cores_per_socket * self.sockets
 
     def run_server(self, system, **kwargs):
         """Server scenario sharded across this system's sockets.
@@ -55,5 +61,5 @@ class MultiSocketSystem:
         """
         from repro.perf.serving import run_server
 
-        kwargs.setdefault("socket_efficiency", CROSS_SOCKET_EFFICIENCY)
+        kwargs.setdefault("socket_efficiency", self.cross_socket_efficiency)
         return run_server(system, sockets=self.sockets, **kwargs)

@@ -9,9 +9,10 @@ I/O, the memory controllers, and multi-socket logic.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.obs.metrics import get_metrics
+from repro.soc.config import SocConfig
 
 
 class RingStop(enum.Enum):
@@ -50,6 +51,25 @@ RING_ORDER = [
 ]
 
 
+def ring_order(num_cores: int = 8) -> tuple[str, ...]:
+    """Stop order (as stop names) for a socket with ``num_cores`` cores.
+
+    Generalizes ``RING_ORDER`` to non-CHA core counts: the first half of
+    the cores sit on one side of the shared agents, the rest on the other,
+    with Ncore still adjacent to the memory controller.
+    """
+    if num_cores < 1:
+        raise ValueError("the ring needs at least one core stop")
+    cores = [f"core{i}" for i in range(num_cores)]
+    half = num_cores // 2
+    shared = ["memory", "ncore", "io", "multi_socket"]
+    return tuple(cores[:half] + shared + cores[half:])
+
+
+def _stop_name(stop: "RingStop | str") -> str:
+    return stop.value if isinstance(stop, RingStop) else stop
+
+
 @dataclass
 class RingBus:
     """Timing model of the bidirectional ring."""
@@ -57,6 +77,16 @@ class RingBus:
     width_bits: int = 512
     clock_hz: float = 2.5e9
     hop_cycles: int = 1
+    order: tuple[str, ...] = field(default_factory=ring_order)
+
+    @classmethod
+    def from_config(cls, config: SocConfig) -> "RingBus":
+        return cls(
+            width_bits=config.ring_width_bits,
+            clock_hz=config.clock_hz,
+            hop_cycles=config.ring_hop_cycles,
+            order=ring_order(config.x86_cores),
+        )
 
     @property
     def width_bytes(self) -> int:
@@ -72,14 +102,15 @@ class RingBus:
         """Peak bytes/second across both directions (320 GB/s in CHA)."""
         return 2 * self.bandwidth_per_direction
 
-    def hops(self, src: RingStop, dst: RingStop) -> int:
+    def hops(self, src: "RingStop | str", dst: "RingStop | str") -> int:
         """Fewest ring stops between two agents (the ring is bidirectional,
         so traffic takes the shorter way around)."""
-        a, b = RING_ORDER.index(src), RING_ORDER.index(dst)
+        a = self.order.index(_stop_name(src))
+        b = self.order.index(_stop_name(dst))
         distance = abs(a - b)
-        return min(distance, len(RING_ORDER) - distance)
+        return min(distance, len(self.order) - distance)
 
-    def transfer_cycles(self, src: RingStop, dst: RingStop, num_bytes: int) -> int:
+    def transfer_cycles(self, src: "RingStop | str", dst: "RingStop | str", num_bytes: int) -> int:
         """Cycles to move a message: per-hop latency plus serialisation."""
         latency = self.hops(src, dst) * self.hop_cycles
         serialisation = -(-num_bytes // self.width_bytes)  # ceil division
@@ -93,5 +124,5 @@ class RingBus:
             metrics.counter("ring.occupancy_cycles", unit="cycles").inc(serialisation)
         return latency + serialisation
 
-    def transfer_seconds(self, src: RingStop, dst: RingStop, num_bytes: int) -> float:
+    def transfer_seconds(self, src: "RingStop | str", dst: "RingStop | str", num_bytes: int) -> float:
         return self.transfer_cycles(src, dst, num_bytes) / self.clock_hz

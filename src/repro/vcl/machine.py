@@ -51,7 +51,12 @@ class Vector:
 class VclMachine:
     """A prototyping machine of configurable width and broadcast group."""
 
-    def __init__(self, width: int = 4096, group: int = 64, acc_bits: int = 32) -> None:
+    def __init__(
+        self,
+        width: int = 4096,  # row-bytes-ok: VCL default mirrors CHA independently
+        group: int = 64,
+        acc_bits: int = 32,
+    ) -> None:
         if width % group:
             raise ValueError("machine width must be a multiple of the group size")
         self.width = width

@@ -1,0 +1,50 @@
+"""The energy/area model: calibration, scaling direction, breakdowns."""
+
+from repro.explore import area_model, energy_model
+from repro.explore.energy import CALIBRATED_NCORE_MM2
+from repro.ncore.config import NcoreConfig
+from repro.soc.config import SocConfig
+
+
+class TestArea:
+    def test_shipped_point_reproduces_the_calibrated_footprint(self):
+        area = area_model(NcoreConfig(), SocConfig())
+        assert abs(area.total_mm2 - CALIBRATED_NCORE_MM2) < 1e-9
+
+    def test_breadth_and_height_both_cost_area(self):
+        base = area_model(NcoreConfig(), SocConfig()).total_mm2
+        wider = area_model(NcoreConfig(slices=32), SocConfig()).total_mm2
+        taller = area_model(NcoreConfig(sram_rows=4096), SocConfig()).total_mm2
+        assert wider > base and taller > base
+
+    def test_ring_width_scales_the_stop(self):
+        narrow = area_model(NcoreConfig(), SocConfig(ring_width_bits=256))
+        wide = area_model(NcoreConfig(), SocConfig(ring_width_bits=1024))
+        assert wide.ring_mm2 == 4 * narrow.ring_mm2
+
+
+class TestEnergy:
+    def test_components_and_total(self):
+        energy = energy_model(
+            NcoreConfig(), SocConfig(),
+            macs=10**9, cycles=10**6, dram_bytes=10**6,
+        )
+        parts = [energy.mac_mj, energy.sram_mj, energy.dram_mj,
+                 energy.ring_mj, energy.leakage_mj]
+        assert all(p > 0 for p in parts)
+        assert abs(energy.total_mj - sum(parts)) < 1e-12
+
+    def test_dram_traffic_costs_energy(self):
+        quiet = energy_model(NcoreConfig(), SocConfig(),
+                             macs=10**9, cycles=10**6, dram_bytes=0)
+        busy = energy_model(NcoreConfig(), SocConfig(),
+                            macs=10**9, cycles=10**6, dram_bytes=10**8)
+        assert busy.total_mj > quiet.total_mj
+        assert quiet.dram_mj == 0.0
+
+    def test_power_is_energy_over_latency(self):
+        energy = energy_model(NcoreConfig(), SocConfig(),
+                              macs=10**9, cycles=10**6, dram_bytes=0)
+        seconds = 10**6 / NcoreConfig().clock_hz
+        assert abs(energy.power_w(seconds) - energy.total_mj / 1e3 / seconds) < 1e-12
+        assert energy.power_w(0.0) == 0.0

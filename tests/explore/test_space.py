@@ -1,0 +1,57 @@
+"""Design points, grid parsing and enumeration."""
+
+import pytest
+
+from repro.explore import DEFAULT_GRID, DesignPoint, enumerate_grid, parse_grid
+from repro.ncore.config import NcoreConfig
+from repro.soc.config import SocConfig
+
+
+class TestDesignPoint:
+    def test_default_point_is_the_shipped_cha(self):
+        point = DesignPoint()
+        assert point.ncore_config() == NcoreConfig()
+        assert point.soc_config() == SocConfig()
+        assert point.label == "s16-r2048-w512-d4-c2.50"
+
+    def test_configs_carry_the_knobs(self):
+        point = DesignPoint(slices=8, sram_rows=1024, ring_width_bits=256,
+                            ddr_channels=2, clock_ghz=3.0)
+        ncore = point.ncore_config()
+        soc = point.soc_config()
+        assert ncore.slices == 8 and ncore.sram_rows == 1024
+        assert ncore.clock_hz == soc.clock_hz == 3.0e9
+        assert soc.ring_width_bits == 256 and soc.ddr_channels == 2
+
+    def test_invalid_knobs_raise_at_construction(self):
+        with pytest.raises(ValueError):
+            DesignPoint(slices=0)
+        with pytest.raises(ValueError):
+            DesignPoint(clock_ghz=-1.0)
+
+
+class TestGrid:
+    def test_parse_grid(self):
+        axes = parse_grid("slices=8,16,32 clock_ghz=2.0,2.5")
+        assert axes == {"slices": (8.0, 16.0, 32.0), "clock_ghz": (2.0, 2.5)}
+
+    def test_parse_rejects_unknown_axis(self):
+        with pytest.raises(ValueError, match="unknown sweep axis"):
+            parse_grid("lanes=4096")
+
+    def test_parse_rejects_empty(self):
+        with pytest.raises(ValueError):
+            parse_grid("   ")
+
+    def test_enumeration_is_deterministic_and_complete(self):
+        axes = {"slices": (8, 16), "clock_ghz": (2.0, 2.5)}
+        points = enumerate_grid(axes)
+        assert points == enumerate_grid(axes)
+        assert [(p.slices, p.clock_ghz) for p in points] == [
+            (8, 2.0), (8, 2.5), (16, 2.0), (16, 2.5)
+        ]
+        # Unspecified axes keep the shipped defaults.
+        assert all(p.sram_rows == NcoreConfig().sram_rows for p in points)
+
+    def test_default_grid_covers_at_least_100_points(self):
+        assert len(enumerate_grid(DEFAULT_GRID)) >= 100

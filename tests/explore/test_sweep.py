@@ -1,0 +1,102 @@
+"""The sweep driver: determinism, Pareto logic, infeasible regions."""
+
+import json
+
+import pytest
+
+from repro.explore import (
+    DesignPoint,
+    PointResult,
+    enumerate_grid,
+    pareto_frontier,
+    run_sweep,
+)
+
+GRID = {"slices": (16, 32), "sram_rows": (1024, 2048)}
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_sweep(enumerate_grid(GRID), models=("mobilenet_v1",), seed=3)
+
+
+class TestSweep:
+    def test_every_point_is_scored(self, sweep):
+        assert len(sweep.points) == 4
+        assert all(p.feasible for p in sweep.points)
+
+    def test_distinct_config_points_get_distinct_compile_keys(self, sweep):
+        keys = {p.models["mobilenet_v1"].compile_key for p in sweep.points}
+        assert len(keys) == 4
+
+    def test_more_slices_means_fewer_cycles(self, sweep):
+        by_label = {p.point.label: p for p in sweep.points}
+        slow = by_label["s16-r2048-w512-d4-c2.50"].models["mobilenet_v1"]
+        fast = by_label["s32-r2048-w512-d4-c2.50"].models["mobilenet_v1"]
+        assert fast.cycles < slow.cycles
+
+    def test_json_is_deterministic_per_seed(self, sweep):
+        again = run_sweep(enumerate_grid(GRID), models=("mobilenet_v1",), seed=3)
+        assert sweep.to_json() == again.to_json()
+        payload = json.loads(sweep.to_json())
+        assert payload["seed"] == 3
+        assert payload["grid_points"] == 4
+        assert set(payload["pareto"]) == {p.point.label for p in sweep.frontier}
+
+    def test_csv_has_one_row_per_point(self, sweep):
+        lines = sweep.to_csv().strip().splitlines()
+        assert len(lines) == 1 + 4
+        assert lines[0].startswith("label,slices,sram_rows")
+
+    def test_render_marks_the_frontier(self, sweep):
+        text = sweep.render()
+        assert "Pareto-optimal" in text
+        for point in sweep.frontier:
+            assert "*" + point.point.label in text
+
+    def test_infeasible_points_are_results_not_errors(self):
+        result = run_sweep(
+            [DesignPoint(sram_rows=64), DesignPoint()], models=("mobilenet_v1",)
+        )
+        tiny, shipped = result.points
+        assert not tiny.feasible and "PlanningError" in tiny.reason
+        assert shipped.feasible
+        assert "infeasible" in result.render()
+
+    def test_execution_check_is_bit_exact(self):
+        # A non-default point through the full runtime (verify + replay
+        # tiers) against the reference executor; raises on any mismatch.
+        run_sweep(
+            [DesignPoint(slices=32)], models=("mobilenet_v1",),
+            seed=11, execute_queries=2,
+        )
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            run_sweep([DesignPoint()], models=("alexnet",))
+
+
+class TestParetoFrontier:
+    @staticmethod
+    def point(label_slices, ips, watts, mm2):
+        return PointResult(
+            point=DesignPoint(slices=label_slices),
+            feasible=True,
+            throughput_ips=ips,
+            power_w=watts,
+            area_mm2=mm2,
+        )
+
+    def test_dominated_points_are_excluded(self):
+        good = self.point(16, ips=100.0, watts=5.0, mm2=30.0)
+        worse = self.point(8, ips=50.0, watts=6.0, mm2=31.0)
+        assert pareto_frontier([good, worse]) == [good]
+
+    def test_tradeoffs_all_survive(self):
+        fast = self.point(32, ips=200.0, watts=9.0, mm2=50.0)
+        frugal = self.point(8, ips=50.0, watts=2.0, mm2=20.0)
+        assert pareto_frontier([fast, frugal]) == [fast, frugal]
+
+    def test_infeasible_points_never_enter(self):
+        dead = PointResult(point=DesignPoint(), feasible=False, reason="x")
+        assert pareto_frontier([dead]) == []

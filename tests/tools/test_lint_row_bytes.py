@@ -1,0 +1,61 @@
+"""The row-bytes lint: src/ stays clean, the rules behave as documented."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO / "tools"))
+
+from lint_row_bytes import lint_file, lint_tree  # noqa: E402
+
+
+class TestRules:
+    def check(self, tmp_path, source, name="mod.py"):
+        path = tmp_path / name
+        path.write_text(source)
+        return lint_file(path)
+
+    def test_bare_4096_trips(self, tmp_path):
+        assert self.check(tmp_path, "ROWS = 4096\n") == [(1, "4096")]
+
+    def test_bare_2048_trips(self, tmp_path):
+        assert self.check(tmp_path, "x = foo(2048)\n") == [(1, "2048")]
+
+    def test_waiver_comment_suppresses(self, tmp_path):
+        src = "ROWS = 4096  # row-bytes-ok: frozen ABI constant\n"
+        assert self.check(tmp_path, src) == []
+
+    def test_comments_and_strings_never_trip(self, tmp_path):
+        src = '"""A 4096-byte row."""\n# 2048 rows\nmsg = "4096"\n'
+        assert self.check(tmp_path, src) == []
+
+    def test_derived_expressions_never_trip(self, tmp_path):
+        assert self.check(tmp_path, "ROW = 16 * 256\nHALF = 1 << 11\n") == []
+
+    def test_config_module_is_exempt(self, tmp_path):
+        mod = tmp_path / "repro" / "ncore"
+        mod.mkdir(parents=True)
+        path = mod / "config.py"
+        path.write_text("DEFAULT_ROWS = 2048\n")
+        assert lint_file(path) == []
+
+    def test_tree_report_names_file_and_line(self, tmp_path):
+        (tmp_path / "bad.py").write_text("a = 1\nb = 4096\n")
+        report = lint_tree([tmp_path])
+        assert len(report) == 1
+        assert "bad.py:2" in report[0]
+
+
+def test_src_tree_is_clean():
+    """The enforced invariant: no new bare row-width literals in src/."""
+    report = lint_tree([REPO / "src"])
+    assert report == [], "\n".join(report)
+
+
+@pytest.mark.parametrize("waived", ["isa/instruction.py"])
+def test_known_waivers_still_present(waived):
+    """The isa waiver must stay (repro.isa cannot import repro.ncore)."""
+    text = (REPO / "src" / "repro" / waived).read_text()
+    assert "row-bytes-ok" in text

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Repo lint: no new bare row-width literals outside the config.
+
+The CHA row width (4096 bytes) and RAM height (2048 rows) are architecture
+*parameters* — ``NcoreConfig.row_bytes`` / ``NcoreConfig.sram_rows`` — and
+every layer of the stack is config-parametric.  A bare ``4096`` or ``2048``
+in ``src/`` silently re-hard-codes the shipped point and breaks non-default
+configurations, so this lint forbids them as *number tokens* (comments,
+docstrings and derived expressions like ``16 * 256`` never trip it).
+
+Escape hatches, in order of preference:
+
+1. derive the value from a config (``config.row_bytes``, ``CHA_NCORE``);
+2. where a layer legitimately cannot see a config (e.g. ``repro.isa``
+   must not import ``repro.ncore``), append ``# row-bytes-ok: <reason>``
+   to the offending line;
+3. ``repro/ncore/config.py`` itself is exempt — it *defines* the values.
+
+Run as ``python tools/lint_row_bytes.py [paths...]``; exits non-zero and
+prints ``path:line: token`` for each violation.  The test suite runs it
+over ``src/`` so CI enforces it.
+"""
+
+from __future__ import annotations
+
+import io
+import sys
+import tokenize
+from pathlib import Path
+
+FORBIDDEN = {"4096", "2048"}
+WAIVER = "row-bytes-ok"
+EXEMPT = ("repro/ncore/config.py",)
+
+
+def lint_file(path: Path) -> list[tuple[int, str]]:
+    """Return (line, token) for every bare forbidden literal in one file."""
+    if any(str(path).replace("\\", "/").endswith(name) for name in EXEMPT):
+        return []
+    source = path.read_text(encoding="utf-8")
+    lines = source.splitlines()
+    violations: list[tuple[int, str]] = []
+    for token in tokenize.generate_tokens(io.StringIO(source).readline):
+        if token.type != tokenize.NUMBER or token.string not in FORBIDDEN:
+            continue
+        line_no = token.start[0]
+        line = lines[line_no - 1] if line_no <= len(lines) else ""
+        if WAIVER in line:
+            continue
+        violations.append((line_no, token.string))
+    return violations
+
+
+def lint_tree(roots: list[Path]) -> list[str]:
+    """Lint every ``.py`` under the given roots; returns report lines."""
+    report: list[str] = []
+    for root in roots:
+        files = [root] if root.is_file() else sorted(root.rglob("*.py"))
+        for path in files:
+            for line_no, token in lint_file(path):
+                report.append(
+                    f"{path}:{line_no}: bare {token} — derive it from "
+                    f"NcoreConfig or append '# {WAIVER}: <reason>'"
+                )
+    return report
+
+
+def main(argv: list[str]) -> int:
+    roots = [Path(arg) for arg in argv] or [Path("src")]
+    report = lint_tree(roots)
+    for line in report:
+        print(line)
+    if report:
+        print(f"{len(report)} bare row-width literal(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
