@@ -1,0 +1,45 @@
+"""Regression guard: Tier-3 codegen must stay well ahead of the Tier-1
+fastpath on end-to-end zoo inference.
+
+The measured steady-state advantage on MobileNet (the cheapest zoo CNN)
+is ~5x on an idle machine; the guard asserts a conservative 3x so CI
+noise never flakes it, while any change that quietly drops macro-kernel
+coverage (an op falling out of the codegen vocabulary, the sidecar
+artifact missing from the cache) still fails loudly.  The digest check
+keeps the guard honest: the speed-up only counts if the bytes match.
+"""
+
+import numpy as np
+
+from repro.perf.simbench import compile_zoo_model, measure_zoo_end_to_end
+from repro.runtime import InferenceSession
+
+GUARD_SPEEDUP = 3.0
+MODEL = "mobilenet_v1"
+
+
+def test_codegen_outputs_match_fastpath():
+    model, feeds = compile_zoo_model(MODEL)
+    fast = InferenceSession(model, policy="fastpath")
+    tier3 = InferenceSession(model, policy="codegen")
+    try:
+        want = fast.run(feeds).outputs
+        got = tier3.run(feeds).outputs
+        assert tier3.executor.last_tier == "codegen"
+        for name in want:
+            assert np.asarray(got[name]).tobytes() == \
+                np.asarray(want[name]).tobytes()
+    finally:
+        fast.close()
+        tier3.close()
+
+
+def test_codegen_speedup_guard():
+    tier3 = measure_zoo_end_to_end(MODEL, queries=3, tier="codegen", warmup=1)
+    tier1 = measure_zoo_end_to_end(MODEL, queries=3, tier="fastpath", warmup=1)
+    speedup = tier1["seconds"] / tier3["seconds"]
+    assert speedup >= GUARD_SPEEDUP, (
+        f"Tier-3 codegen only {speedup:.1f}x over the Tier-1 fastpath "
+        f"on {MODEL} (guard {GUARD_SPEEDUP}x) — did macro-kernel "
+        "coverage regress?"
+    )

@@ -28,6 +28,15 @@ import sys
 
 import numpy as np
 
+# Mirrors ``repro.runtime.TIER_CHOICES``; kept as a literal so building the
+# argument parser (``repro --help``) never imports the runtime stack.  A
+# test asserts the two stay in sync.
+_TIER_CHOICES = ("auto", "interpreter", "fastpath", "replay", "codegen")
+_TIER_HELP = (
+    "execution tier: auto (replay + Tier-3 codegen when compiled at O2), "
+    "interpreter, fastpath, replay, or codegen"
+)
+
 
 def _cmd_info(args) -> int:
     from repro.ncore import NcoreConfig
@@ -90,7 +99,7 @@ def _cmd_bench(args) -> int:
         print(f"unknown model {args.model!r}; try one of "
               f"{sorted(PAPER_CHARACTERISTICS)}", file=sys.stderr)
         return 2
-    set_fastpath_default(args.fastpath)
+    set_fastpath_default(args.fastpath and args.tier != "interpreter")
     system = get_system(args.model)
     split = system.workload_split()
     print(f"{system.info.display} on one CHA socket")
@@ -100,10 +109,17 @@ def _cmd_bench(args) -> int:
     print(f"  SingleStream latency: {system.single_stream_latency_seconds() * 1e3:8.3f} ms")
     print(f"  Offline throughput:   {system.offline_throughput_ips(cores=args.cores):8.1f} IPS "
           f"({args.cores} cores)")
-    inner = measure_inner_loop(fastpath=args.fastpath)
-    tier = "fastpath" if args.fastpath else "interpreter"
+    use_fastpath = args.fastpath and args.tier != "interpreter"
+    inner = measure_inner_loop(fastpath=use_fastpath)
+    tier = "fastpath" if use_fastpath else "interpreter"
     print(f"  Simulator inner loop: {inner['cycles_per_second']:8.0f} cycles/s "
           f"({tier})")
+    if args.tier != "auto":
+        from repro.perf.simbench import measure_zoo_end_to_end
+
+        zoo = measure_zoo_end_to_end(args.model, tier=args.tier, warmup=1)
+        print(f"  Zoo end-to-end:       {zoo['queries_per_second']:8.2f} "
+              f"queries/s (tier {args.tier}, steady state)")
     return 0
 
 
@@ -130,6 +146,16 @@ def _cmd_serve(args) -> int:
     slo_seconds = args.slo_ms * 1e-3 if args.slo_ms is not None else None
     telemetry_interval = args.interval if args.telemetry else None
     with contextlib.ExitStack() as stack:
+        if args.tier != "auto":
+            from repro.runtime import (
+                TierPolicy,
+                get_default_tier_policy,
+                set_default_tier_policy,
+            )
+
+            previous_policy = get_default_tier_policy()
+            set_default_tier_policy(TierPolicy.for_tier(args.tier))
+            stack.callback(set_default_tier_policy, previous_policy)
         registry = None
         if args.telemetry or args.prometheus:
             registry = stack.enter_context(install_metrics(MetricsRegistry()))
@@ -450,7 +476,7 @@ def _cmd_run(args) -> int:
               f"{sorted(PAPER_CHARACTERISTICS)}", file=sys.stderr)
         return 2
     compiled = compile_model(graph, optimize=not args.no_optimize, name=name)
-    session = InferenceSession(compiled)
+    session = InferenceSession(compiled, policy=args.tier)
     key = _resolve_model_key(args.path)
     if key is not None:
         from repro.models import PAPER_CHARACTERISTICS
@@ -475,7 +501,8 @@ def _cmd_run(args) -> int:
               f"range [{value.min():.4g}, {value.max():.4g}]")
     timing = result.timing
     print(f"  latency: {timing.total_seconds * 1e6:.1f} us "
-          f"(Ncore {timing.ncore_fraction:.0%})")
+          f"(Ncore {timing.ncore_fraction:.0%}, "
+          f"tier {session.executor.last_tier})")
     exit_code = 0
     if args.sanitize:
         exit_code = _sanitize_session(session, compiled, result, feeds, args.seed)
@@ -708,6 +735,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="use the trace-fused simulator tier (--no-fastpath for the "
              "pure interpreter)",
     )
+    bench.add_argument(
+        "--tier", choices=_TIER_CHOICES, default="auto",
+        help=_TIER_HELP + "; naming a tier also benchmarks the zoo "
+             "end-to-end path at that tier",
+    )
     serve = sub.add_parser(
         "serve", help="run the MLPerf Server scenario on the event engine"
     )
@@ -721,6 +753,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="dynamic batching: seal after this many microseconds")
     serve.add_argument("--cores", type=int, default=8, help="x86 cores per socket")
     serve.add_argument("--sockets", type=int, default=1)
+    serve.add_argument("--tier", choices=_TIER_CHOICES, default="auto",
+                       help=_TIER_HELP + " (installed as the default tier "
+                            "policy for every serving executor)")
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument("--slo-ms", type=float, default=None,
                        help="arm the SLO monitor with this latency target "
@@ -851,6 +886,8 @@ def build_parser() -> argparse.ArgumentParser:
              ".json/.npz pair",
     )
     run_cmd.add_argument("--no-optimize", action="store_true")
+    run_cmd.add_argument("--tier", choices=_TIER_CHOICES, default="auto",
+                         help=_TIER_HELP)
     run_cmd.add_argument("--seed", type=int, default=0)
     run_cmd.add_argument(
         "--sanitize", action="store_true",

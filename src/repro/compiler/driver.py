@@ -20,6 +20,7 @@ over this function.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.graph.gir import Graph
 from repro.graph.loadable import CompiledModel
@@ -31,6 +32,15 @@ from repro.compiler.cache import CompileCache, get_compile_cache
 from repro.compiler.fingerprint import compile_key
 from repro.compiler.pipeline import Pipeline, get_pipeline
 from repro.compiler.stages import CompilerContext, CompilerError, StageStats
+
+if TYPE_CHECKING:
+    from repro.ncore.codegen import MacroKernelSet
+
+#: Compile-cache sidecar kind for Tier-3 macro-kernel sets (kept in sync
+#: with repro.ncore.codegen.CODEGEN_ARTIFACT_KIND without importing it —
+#: the codegen module pulls in the runtime kernels, which import back
+#: into this package during init).
+_CODEGEN_KIND = "codegen"
 
 
 class _UseDefaultCache:
@@ -49,6 +59,9 @@ class CompileResult:
     pipeline_id: str
     cache_hit: bool = False
     context: CompilerContext | None = None
+    #: Tier-3 macro-kernel sidecar (None when the pipeline has no codegen
+    #: stage, e.g. O0/O1, or when a cache hit found no stored sidecar).
+    macro_kernels: "MacroKernelSet | None" = None
 
     @property
     def stats(self) -> list[StageStats]:
@@ -103,8 +116,10 @@ def compile_graph(
                     model=effective_name, pipeline=pipeline_obj.id,
                     key=key[:16],
                 )
+            sidecar = resolved_cache.lookup_artifact(key, _CODEGEN_KIND)
             return CompileResult(
-                model=cached, key=key, pipeline_id=pipeline_obj.id, cache_hit=True
+                model=cached, key=key, pipeline_id=pipeline_obj.id, cache_hit=True,
+                macro_kernels=sidecar,  # type: ignore[arg-type]
             )
 
     working = graph
@@ -146,9 +161,11 @@ def compile_graph(
         metrics.counter("compiler.compiles").inc()
     if resolved_cache is not None:
         resolved_cache.store(key, model)
+        if ctx.macro_kernels is not None:
+            resolved_cache.store_artifact(key, _CODEGEN_KIND, ctx.macro_kernels)
     return CompileResult(
         model=model, key=key, pipeline_id=pipeline_obj.id,
-        cache_hit=False, context=ctx,
+        cache_hit=False, context=ctx, macro_kernels=ctx.macro_kernels,
     )
 
 

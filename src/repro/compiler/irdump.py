@@ -89,6 +89,24 @@ def dump_context(ctx: "CompilerContext") -> str:
                 f"{loadable.weight_image_bytes} weight bytes"
             )
         sections.append("\n".join(lines))
+    if ctx.macro_kernels is not None:
+        kset = ctx.macro_kernels
+        lines = [
+            f"macro-kernels: {kset.covered_segments} kernels, "
+            f"{kset.variant_count} variants, {len(kset.uncovered)} uncovered"
+        ]
+        for index in sorted(kset.kernels):
+            kernel = kset.kernels[index]
+            for variant in kernel.variants:
+                steps = ", ".join(step.op for step in variant.steps)
+                lines.append(
+                    f"  [{index}] {kernel.name} variant {variant.strategy:<8}"
+                    f" {len(variant.steps):>3} steps"
+                    f"  {kernel.compute_cycles} compute cycles  [{steps}]"
+                )
+        for index in sorted(kset.uncovered):
+            lines.append(f"  [{index}] uncovered: {kset.uncovered[index]}")
+        sections.append("\n".join(lines))
     return "\n\n".join(sections)
 
 

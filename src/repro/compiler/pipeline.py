@@ -8,7 +8,8 @@ same graph under different pipelines are different artifacts.  Presets:
 - ``O1`` — structural fusions only (pad/BN/bias/activation), single
   bounded sweep; the cheap-compile preset.
 - ``O2`` — the full GCL pipeline (fusions + constant folding + CSE +
-  DCE) to a fixed point; the paper's submission flow and the default.
+  DCE) to a fixed point, plus Tier-3 AOT macro-kernel codegen; the
+  paper's submission flow and the default.
 
 ``Pipeline.run`` is where cross-cutting instrumentation lives: every
 stage executes under a ``repro.obs`` span on the ``compiler`` track, its
@@ -106,6 +107,10 @@ def _light_manager() -> PassManager:
 
 _BACKEND = ("partition", "verify", "plan", "lower", "finalize")
 
+#: The O2 backend additionally runs Tier-3 codegen after lowering, so
+#: the cycle-exact Loadable costs exist to stamp onto each MacroKernel.
+_BACKEND_O2 = ("partition", "verify", "plan", "lower", "codegen", "finalize")
+
 _PIPELINES: dict[str, Pipeline] = {}
 
 
@@ -148,8 +153,8 @@ register_pipeline(Pipeline(
 register_pipeline(Pipeline(
     "O2",
     (optimize_stage(default_pipeline, "full GCL pipeline to fixed point"),)
-    + tuple(get_stage(name) for name in _BACKEND),
-    "full GCL optimization to a fixed point (default)",
+    + tuple(get_stage(name) for name in _BACKEND_O2),
+    "full GCL optimization to a fixed point + Tier-3 codegen (default)",
 ))
 
 

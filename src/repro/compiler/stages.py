@@ -13,7 +13,7 @@ on the context and emits as ``repro.obs`` spans.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.graph.gir import Graph
 from repro.graph.loadable import CompiledModel, NcoreLoadable
@@ -22,6 +22,9 @@ from repro.graph.passes import PassManager, default_pipeline
 from repro.graph.planner import MemoryPlan, plan_memory
 from repro.ncore.config import NcoreConfig
 from repro.nkl.lower import lower_segment
+
+if TYPE_CHECKING:
+    from repro.ncore.codegen import MacroKernelSet
 
 
 class CompilerError(RuntimeError):
@@ -62,6 +65,7 @@ class CompilerContext:
     segments: list[Segment] = field(default_factory=list)
     memory_plans: dict[int, MemoryPlan] = field(default_factory=dict)
     loadables: dict[int, NcoreLoadable] = field(default_factory=dict)
+    macro_kernels: "MacroKernelSet | None" = None
     model: CompiledModel | None = None
     stats: list[StageStats] = field(default_factory=list)
     snapshots: dict[str, str] = field(default_factory=dict)
@@ -212,6 +216,30 @@ def _run_lower(ctx: CompilerContext) -> dict[str, Any]:
     }
 
 
+def _run_codegen(ctx: CompilerContext) -> dict[str, Any]:
+    """Tier-3 AOT codegen: lower segments to macro-kernel variants.
+
+    Produces the :class:`repro.ncore.codegen.MacroKernelSet` sidecar the
+    driver stores in the compile cache next to the model.  Segments with
+    no macro-kernel form (float regions, x86-only ops) are recorded with
+    a reason and keep the per-node interpreter at runtime — coverage is
+    best-effort, bit-exactness is not.
+    """
+    if not ctx.segments:
+        raise CompilerError("codegen stage needs partitioned segments; run 'partition' first")
+    # Imported lazily: repro.ncore.codegen pulls in the runtime kernels,
+    # which import back into repro.compiler during package init.
+    from repro.ncore.codegen import codegen_model
+
+    stats: dict[str, Any] = {}
+    ctx.macro_kernels = codegen_model(
+        ctx.graph, ctx.segments, ctx.loadables, ctx.name, stats=stats
+    )
+    stats.setdefault("kernels", 0)
+    stats.setdefault("uncovered_segments", 0)
+    return stats
+
+
 def _run_finalize(ctx: CompilerContext) -> dict[str, Any]:
     """Assemble the :class:`CompiledModel` from the staged artifacts."""
     if not ctx.segments:
@@ -272,6 +300,7 @@ register_stage(Stage("partition", _run_partition, "delegate split into Ncore/x86
 register_stage(Stage("verify", _run_verify, "repro.analyze GIR verification gate"))
 register_stage(Stage("plan", _run_plan, "scratchpad memory planning"))
 register_stage(Stage("lower", _run_lower, "NKL lowering to Ncore Loadables"))
+register_stage(Stage("codegen", _run_codegen, "Tier-3 AOT macro-kernel codegen"))
 register_stage(Stage("finalize", _run_finalize, "assemble the CompiledModel"))
 
 

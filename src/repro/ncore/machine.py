@@ -82,32 +82,6 @@ class MachineRunResult:
     dma_stall_cycles: int = 0
 
 
-# ``RunResult`` is a deprecated alias for :class:`MachineRunResult`.  The
-# runtime's :class:`repro.runtime.delegate.RunResult` (inference outputs +
-# timing) is an unrelated class that used to share this name; import the
-# machine-level result as ``MachineRunResult``.  Access goes through the
-# module ``__getattr__`` below, which emits a DeprecationWarning exactly
-# once per process.
-_runresult_warned = False
-
-
-def __getattr__(name: str):
-    if name == "RunResult":
-        global _runresult_warned
-        if not _runresult_warned:
-            _runresult_warned = True
-            import warnings
-
-            warnings.warn(
-                "repro.ncore.machine.RunResult is deprecated; "
-                "use MachineRunResult instead",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-        return MachineRunResult
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
-
-
 @dataclass
 class _LoopFrame:
     body_start: int

@@ -34,6 +34,7 @@ if TYPE_CHECKING:
 TIER_INTERPRETER = "interpreter"
 TIER_FASTPATH = "fastpath"
 TIER_REPLAY = "replay"
+TIER_CODEGEN = "codegen"
 TIER_TIMING_MODEL = "timing-model"
 
 

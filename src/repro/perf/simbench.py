@@ -83,20 +83,20 @@ def measure_inner_loop(
     }
 
 
-def measure_zoo_end_to_end(
-    model_key: str = "mobilenet_v1",
-    queries: int = 3,
-    replay: bool = True,
-) -> dict[str, float]:
-    """Wall time for repeated end-to-end quantized inference of one zoo
-    model, exercising the tier-2 replay cache when ``replay`` is on.
+def compile_zoo_model(model_key: str = "mobilenet_v1"):
+    """Convert and O2-compile one zoo model; returns ``(model, feeds)``.
 
     Uses a reduced-resolution MobileNet build when available so the
     baseline stays cheap enough for CI while still walking every layer.
+    GNMT takes the bf16 path (it has no int8 recipe); everything else is
+    int8-quantized off a single calibration batch.  Compiling at O2 means
+    the Tier-3 ``codegen`` stage runs and the macro-kernel artifact lands
+    in the compile cache, so sessions opened on the result can use any
+    tier.
     """
     from repro.models import PAPER_CHARACTERISTICS
-    from repro.quantize import calibrate, quantize_graph
-    from repro.runtime.delegate import InferenceSession, compile_model
+    from repro.quantize import calibrate, convert_to_bf16, quantize_graph
+    from repro.runtime.delegate import compile_model
 
     info = PAPER_CHARACTERISTICS[model_key]
     try:
@@ -104,8 +104,39 @@ def measure_zoo_end_to_end(
     except TypeError:
         graph = info.build()
     feeds = info.sample_input(graph, seed=0)
-    model = compile_model(quantize_graph(graph, calibrate(graph, [feeds])))
-    session = InferenceSession(model, replay=replay)
+    if model_key == "gnmt":
+        converted = convert_to_bf16(graph)
+    else:
+        converted = quantize_graph(graph, calibrate(graph, [feeds]))
+    return compile_model(converted, name=model_key), feeds
+
+
+def measure_zoo_end_to_end(
+    model_key: str = "mobilenet_v1",
+    queries: int = 3,
+    replay: bool = True,
+    tier: str | None = None,
+    warmup: int = 0,
+) -> dict[str, float]:
+    """Wall time for repeated end-to-end quantized inference of one zoo
+    model.
+
+    With ``tier=None`` (the legacy spelling) the session runs with the
+    default policy minus/plus the tier-2 replay cache, per ``replay``.
+    Naming a ``tier`` pins the session to that rung of the ladder
+    (``interpreter`` / ``fastpath`` / ``replay`` / ``codegen``); pass
+    ``warmup`` > 0 to exclude the first-dispatch variant benchmarking and
+    oracle cross-check from the measured window.
+    """
+    from repro.runtime.delegate import InferenceSession
+
+    model, feeds = compile_zoo_model(model_key)
+    if tier is None:
+        session = InferenceSession(model, replay=replay)
+    else:
+        session = InferenceSession(model, policy=tier)
+    for _ in range(max(0, warmup)):
+        session.run(feeds)
     start = time.perf_counter()
     for _ in range(max(1, queries)):
         session.run(feeds)
@@ -116,6 +147,39 @@ def measure_zoo_end_to_end(
         "queries": float(queries),
         "queries_per_second": queries / elapsed,
     }
+
+
+#: Tier ladder rungs compared by :func:`measure_zoo_tiers` — the ones with
+#: distinct end-to-end execution paths (tier-2 replay memoizes whole
+#: queries, which would measure the cache, not the simulator).
+ZOO_TIERS = ("interpreter", "fastpath", "codegen")
+
+
+def measure_zoo_tiers(
+    model_key: str = "mobilenet_v1",
+    queries: int = 3,
+    tiers: tuple[str, ...] = ZOO_TIERS,
+) -> dict[str, Any]:
+    """Steady-state zoo end-to-end throughput at each execution tier.
+
+    One warm-up query per tier (Tier 3 benchmarks its kernel variants and
+    runs the interpreter oracle on first dispatch), then ``queries`` timed
+    queries.  Returns per-tier timings plus each tier's speedup over the
+    interpreter walk.
+    """
+    per_tier: dict[str, Any] = {}
+    for tier in tiers:
+        per_tier[tier] = measure_zoo_end_to_end(
+            model_key, queries=queries, tier=tier, warmup=1
+        )
+    result: dict[str, Any] = {"model": model_key, "tiers": per_tier}
+    interp = per_tier.get("interpreter")
+    if interp is not None:
+        result["speedups"] = {
+            tier: interp["seconds"] / timing["seconds"]
+            for tier, timing in per_tier.items()
+        }
+    return result
 
 
 def record_baseline(path: str, zoo_model: str = "mobilenet_v1") -> dict[str, Any]:
@@ -131,6 +195,7 @@ def record_baseline(path: str, zoo_model: str = "mobilenet_v1") -> dict[str, Any
             "speedup": inner_interp["seconds"] / inner_fast["seconds"],
         },
         "zoo_end_to_end": {"model": zoo_model, **zoo},
+        "zoo_tiers": measure_zoo_tiers(zoo_model),
     }
     with open(path, "w") as handle:
         json.dump(baseline, handle, indent=2)

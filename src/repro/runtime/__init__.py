@@ -9,10 +9,14 @@ that owns the protected settings (DMA windows, power).
 from repro.runtime.delegate import InferenceSession, compile_model
 from repro.runtime.driver import DriverError, NcoreKernelDriver
 from repro.runtime.executor import (
+    TIER_CHOICES,
     EngineExecutor,
     NcoreExecutor,
     QueryTicket,
     SessionHandle,
+    TierPolicy,
+    get_default_tier_policy,
+    set_default_tier_policy,
 )
 from repro.runtime.luts import build_activation_lut, sigmoid_lut, tanh_lut
 from repro.runtime.profiler import EventLogOverflowError, Profiler, Trace
@@ -30,7 +34,11 @@ __all__ = [
     "QueryTicket",
     "SessionHandle",
     "SelfTestReport",
+    "TIER_CHOICES",
+    "TierPolicy",
     "Trace",
+    "get_default_tier_policy",
+    "set_default_tier_policy",
     "build_activation_lut",
     "compile_model",
     "execute_quantized",

@@ -124,12 +124,30 @@ class InferenceSession:
         soc: ChaSoc | None = None,
         owner: str = "inference-session",
         verify: bool = False,
-        replay: bool = True,
+        replay: bool | None = None,
+        policy: "object | str | None" = None,
     ) -> None:
-        from repro.runtime.executor import NcoreExecutor
+        from dataclasses import replace as dataclass_replace
 
+        from repro.runtime.executor import (
+            NcoreExecutor,
+            TierPolicy,
+            get_default_tier_policy,
+        )
+
+        # ``replay`` predates TierPolicy; it stays supported as a session
+        # convenience and folds into the policy when explicitly passed.
+        if isinstance(policy, str):
+            resolved = TierPolicy.for_tier(policy)
+        elif policy is None:
+            resolved = get_default_tier_policy()
+        else:
+            assert isinstance(policy, TierPolicy)
+            resolved = policy
+        if replay is not None:
+            resolved = dataclass_replace(resolved, replay=bool(replay))
         self.executor = NcoreExecutor(
-            model, soc=soc, owner=owner, verify=verify, replay=replay
+            model, soc=soc, owner=owner, verify=verify, policy=resolved
         )
 
     @property
@@ -223,12 +241,10 @@ class InferenceSession:
         tracer = get_tracer()
         with tracer.span("delegate.run", track="delegate", model=self.model.name) as span:
             with tracer.span("delegate.execute_quantized", track="delegate"):
-                # Routed through the executor so repeated identical queries
-                # hit the tier-2 segment replay cache.
-                outputs, replayed = self.executor._run_quantized(feeds)
-                self.executor._attribute(
-                    replayed=int(replayed), executed=int(not replayed), batch=1
-                )
+                # Routed through the executor's tier ladder: replay hits,
+                # Tier-3 macro-kernels, or the interpreter walk.
+                outputs, tier = self.executor._run_quantized(feeds)
+                self.executor._attribute({tier: 1}, batch=1)
             timing = RunTiming(
                 ncore_seconds=self.ncore_seconds(),
                 x86_seconds=self.x86_graph_seconds(),

@@ -55,7 +55,8 @@ class TestPresets:
 
     def test_o2_runs_the_full_backend(self):
         assert get_pipeline("O2").stage_names() == [
-            "optimize", "partition", "verify", "plan", "lower", "finalize",
+            "optimize", "partition", "verify", "plan", "lower", "codegen",
+            "finalize",
         ]
         assert get_pipeline("O2").mutates_graph
 
@@ -142,7 +143,7 @@ class TestInstrumentation:
             compile_graph(small_cnn(), cache=None)
         names = [s.name for s in tracer.spans_on("compiler")]
         for stage in ("optimize", "partition", "verify", "plan", "lower",
-                      "finalize"):
+                      "codegen", "finalize"):
             assert f"compiler.{stage}" in names
         assert "compiler.compile" in names
         assert metrics.counter("compiler.stage.lower.runs").value == 1
@@ -206,7 +207,7 @@ class TestIrDump:
         result = compile_graph(small_cnn(), cache=None, collect_ir=True)
         assert list(result.snapshots) == [
             "input", "optimize", "partition", "verify", "plan", "lower",
-            "finalize",
+            "codegen", "finalize",
         ]
 
     def test_partition_changes_the_ir_text(self):

@@ -1,6 +1,4 @@
-"""The resumable ``Ncore.step`` API: budgets, state carry-over, the alias."""
-
-import warnings
+"""The resumable ``Ncore.step`` API: budgets and state carry-over."""
 
 import numpy as np
 import pytest
@@ -78,21 +76,16 @@ class TestStep:
         assert step_result.halted and run_result.halted
 
 
-class TestRunResultAlias:
-    def test_deprecated_alias_points_at_the_renamed_class(self):
+class TestRunResultAliasRemoved:
+    def test_the_deprecated_alias_is_gone(self):
+        # The PR-3 ``RunResult`` module alias (and its warn-once
+        # ``__getattr__`` shim) has been removed: the machine-level
+        # result is ``MachineRunResult``, and the runtime-level
+        # ``repro.runtime.delegate.RunResult`` is the only ``RunResult``.
         import repro.ncore.machine as machine_module
 
-        assert machine_module.RunResult is MachineRunResult
-
-    def test_alias_warns_exactly_once_per_process(self):
-        import repro.ncore.machine as machine_module
-
-        machine_module._runresult_warned = False
-        with pytest.warns(DeprecationWarning, match="MachineRunResult"):
+        with pytest.raises(AttributeError):
             machine_module.RunResult
-        with warnings.catch_warnings():
-            warnings.simplefilter("error")
-            machine_module.RunResult  # second access: silent
 
     def test_unknown_attribute_still_raises(self):
         import repro.ncore.machine as machine_module

@@ -1,0 +1,54 @@
+"""No source module references the removed pre-rename spellings.
+
+PR 3 renamed the machine-level ``RunResult`` to ``MachineRunResult`` and
+left a warn-once module alias behind; the alias is now gone.  This test
+greps the source tree so a stray reference (or a reintroduced alias)
+fails loudly rather than resurrecting the old name.
+"""
+
+import re
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: Modules allowed to say ``RunResult`` because they define or consume the
+#: *runtime-level* result type (``repro.runtime.delegate.RunResult``),
+#: which was never deprecated.
+_RUNTIME_RESULT_FILES = {
+    SRC / "runtime" / "delegate.py",
+    SRC / "runtime" / "executor.py",
+}
+
+
+def _source_files():
+    return sorted(SRC.rglob("*.py"))
+
+
+def test_no_machine_level_runresult_references():
+    pattern = re.compile(r"\bRunResult\b")
+    offenders = []
+    for path in _source_files():
+        if path in _RUNTIME_RESULT_FILES:
+            continue
+        for lineno, line in enumerate(
+            path.read_text().splitlines(), start=1
+        ):
+            if pattern.search(line) and "MachineRunResult" not in line:
+                offenders.append(f"{path}:{lineno}: {line.strip()}")
+    assert not offenders, (
+        "machine-level 'RunResult' spelling resurfaced:\n"
+        + "\n".join(offenders)
+    )
+
+
+def test_no_module_getattr_shim_in_machine():
+    text = (SRC / "ncore" / "machine.py").read_text()
+    assert "__getattr__" not in text
+    assert "RunResult =" not in text
+
+
+def test_machine_module_has_no_alias_attribute():
+    import repro.ncore.machine as machine_module
+
+    assert not hasattr(machine_module, "RunResult")
+    assert hasattr(machine_module, "MachineRunResult")
