@@ -7,6 +7,12 @@ noise never flakes it, while any change that quietly drops macro-kernel
 coverage (an op falling out of the codegen vocabulary, the sidecar
 artifact missing from the cache) still fails loudly.  The digest check
 keeps the guard honest: the speed-up only counts if the bytes match.
+
+The GNMT pair guards the bf16 float region the same way: the measured
+steady-state advantage over the interpreter walk is ~5x (the seqfuse
+variant computes each encoder layer's sequence projection once instead
+of once per step), guarded at a conservative 3x and only after the
+outputs digest-match the interpreter bit for bit.
 """
 
 import numpy as np
@@ -42,4 +48,38 @@ def test_codegen_speedup_guard():
         f"Tier-3 codegen only {speedup:.1f}x over the Tier-1 fastpath "
         f"on {MODEL} (guard {GUARD_SPEEDUP}x) — did macro-kernel "
         "coverage regress?"
+    )
+
+
+GNMT_GUARD_SPEEDUP = 3.0
+
+
+def test_gnmt_codegen_bit_exact_and_covered():
+    model, feeds = compile_zoo_model("gnmt")
+    interp = InferenceSession(model, policy="interpreter")
+    tier3 = InferenceSession(model, policy="codegen")
+    try:
+        want = interp.run(feeds).outputs
+        got = tier3.run(feeds).outputs
+        assert tier3.executor.last_tier == "codegen"
+        kset = tier3.executor.macro_kernels
+        assert kset is not None
+        assert kset.coverage_fraction(len(model.segments)) > 0.8
+        for name in want:
+            assert np.asarray(got[name]).tobytes() == \
+                np.asarray(want[name]).tobytes()
+    finally:
+        interp.close()
+        tier3.close()
+
+
+def test_gnmt_codegen_speedup_guard():
+    tier3 = measure_zoo_end_to_end("gnmt", queries=3, tier="codegen", warmup=1)
+    interp = measure_zoo_end_to_end("gnmt", queries=3, tier="interpreter", warmup=1)
+    assert tier3.get("coverage", 0.0) > 0.8
+    speedup = interp["seconds"] / tier3["seconds"]
+    assert speedup >= GNMT_GUARD_SPEEDUP, (
+        f"Tier-3 codegen only {speedup:.1f}x over the interpreter walk "
+        f"on gnmt (guard {GNMT_GUARD_SPEEDUP}x) — did float-region "
+        "macro-kernel coverage or the seqfuse variant regress?"
     )

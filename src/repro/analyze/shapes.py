@@ -229,6 +229,38 @@ def _lstm_cell(node: Node, ins: list[TensorType]) -> list[TensorType]:
     return [state, state]
 
 
+def _lstm_step(node: Node, ins: list[TensorType]) -> list[TensorType]:
+    x_seq, wx, wh, h_prev = ins[0], ins[1], ins[2], ins[4]
+    _require_rank(wx.shape, 2, "lstm_step input weights")
+    _require_rank(wh.shape, 2, "lstm_step recurrent weights")
+    hidden = wh.shape[0]
+    if wx.shape[1] != 4 * hidden or wh.shape[1] != 4 * hidden:
+        raise ShapeInferenceError(
+            f"lstm_step gate widths disagree: wx {wx.shape}, wh {wh.shape} "
+            f"(want (*, {4 * hidden}))"
+        )
+    if x_seq.shape[-1] != wx.shape[0]:
+        raise ShapeInferenceError(
+            f"lstm_step sequence has {x_seq.shape[-1]} features, "
+            f"input weights expect {wx.shape[0]}"
+        )
+    if len(x_seq.shape) < 2:
+        raise ShapeInferenceError("lstm_step sequence must be at least rank 2")
+    t = node.attrs["t"]
+    seq_len = x_seq.shape[-2]
+    if not 0 <= int(t) < seq_len:
+        raise ShapeInferenceError(
+            f"lstm_step t={t} outside sequence of length {seq_len}"
+        )
+    if h_prev.shape and h_prev.shape[-1] != hidden:
+        raise ShapeInferenceError(
+            f"lstm_step hidden state has {h_prev.shape[-1]} features, "
+            f"weights imply {hidden}"
+        )
+    state = TensorType((h_prev.shape[0], hidden), x_seq.dtype)
+    return [state, state]
+
+
 def _attention(node: Node, ins: list[TensorType]) -> list[TensorType]:
     query, keys = ins[0], ins[1]
     _require_rank(keys.shape, 3, "attention keys")
@@ -257,7 +289,8 @@ _MIN_INPUTS: dict[str, int] = {
     "batch_norm": 5, "relu": 1, "relu6": 1, "tanh": 1, "sigmoid": 1,
     "softmax": 1, "add": 2, "mul": 2, "concat": 1, "pad": 1, "max_pool": 1,
     "avg_pool": 1, "mean": 1, "reshape": 1, "slice": 1, "quantize": 1,
-    "dequantize": 1, "embedding": 2, "lstm_cell": 5, "attention": 2,
+    "dequantize": 1, "embedding": 2, "lstm_cell": 5, "lstm_step": 6,
+    "attention": 2,
     "nms": 2, "identity": 1,
 }
 
@@ -285,6 +318,7 @@ _INFERENCE: dict[str, Callable[[Node, list[TensorType]], list[TensorType]]] = {
     "dequantize": _dequantize,
     "embedding": _embedding,
     "lstm_cell": _lstm_cell,
+    "lstm_step": _lstm_step,
     "attention": _attention,
     "nms": _nms,
     "identity": _elementwise,

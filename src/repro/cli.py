@@ -120,6 +120,14 @@ def _cmd_bench(args) -> int:
         zoo = measure_zoo_end_to_end(args.model, tier=args.tier, warmup=1)
         print(f"  Zoo end-to-end:       {zoo['queries_per_second']:8.2f} "
               f"queries/s (tier {args.tier}, steady state)")
+        coverage = zoo.get("coverage")
+        if coverage is not None:
+            print(f"  Codegen coverage:     {coverage:8.0%} of segments have "
+                  f"macro-kernels")
+            if coverage == 0.0:
+                print(f"  warning: tier {args.tier!r} covered no segments of "
+                      f"{args.model}; queries fell back to the interpreter walk",
+                      file=sys.stderr)
     return 0
 
 

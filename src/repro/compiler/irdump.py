@@ -93,7 +93,8 @@ def dump_context(ctx: "CompilerContext") -> str:
         kset = ctx.macro_kernels
         lines = [
             f"macro-kernels: {kset.covered_segments} kernels, "
-            f"{kset.variant_count} variants, {len(kset.uncovered)} uncovered"
+            f"{kset.variant_count} variants, {len(kset.uncovered)} uncovered, "
+            f"coverage {kset.coverage_fraction():.2f}"
         ]
         for index in sorted(kset.kernels):
             kernel = kset.kernels[index]
@@ -106,6 +107,8 @@ def dump_context(ctx: "CompilerContext") -> str:
                 )
         for index in sorted(kset.uncovered):
             lines.append(f"  [{index}] uncovered: {kset.uncovered[index]}")
+        for reason, count in sorted(kset.uncovered_reason_counts().items()):
+            lines.append(f"  uncovered reason x{count}: {reason}")
         sections.append("\n".join(lines))
     return "\n\n".join(sections)
 

@@ -232,12 +232,37 @@ def _run_codegen(ctx: CompilerContext) -> dict[str, Any]:
     from repro.ncore.codegen import codegen_model
 
     stats: dict[str, Any] = {}
-    ctx.macro_kernels = codegen_model(
+    kset = codegen_model(
         ctx.graph, ctx.segments, ctx.loadables, ctx.name, stats=stats
     )
+    ctx.macro_kernels = kset
     stats.setdefault("kernels", 0)
     stats.setdefault("uncovered_segments", 0)
+    # Float-region coverage: how much of the graph's float family (bf16
+    # LSTM region, x86 float tails) the Tier-3 artifacts actually cover.
+    stats["coverage"] = round(kset.coverage_fraction(len(ctx.segments)), 4)
+    float_steps = sum(
+        sum(1 for step in variant.steps if _is_float_step(step))
+        for kernel in kset.kernels.values()
+        for variant in kernel.variants
+    )
+    if float_steps:
+        stats["float_steps"] = float_steps
+    seqfuse = sum(
+        1
+        for kernel in kset.kernels.values()
+        for variant in kernel.variants
+        if variant.strategy == "seqfuse"
+    )
+    if seqfuse:
+        stats["seqfuse_variants"] = seqfuse
     return stats
+
+
+def _is_float_step(step: Any) -> bool:
+    from repro.ncore.codegen import CellFuseStep, FloatStep, SeqFuseStep
+
+    return isinstance(step, (FloatStep, SeqFuseStep, CellFuseStep))
 
 
 def _run_finalize(ctx: CompilerContext) -> dict[str, Any]:

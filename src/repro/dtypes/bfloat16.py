@@ -28,14 +28,19 @@ def to_bfloat16(x: np.ndarray | float) -> np.ndarray:
     NaN payloads are canonicalised, infinities pass through.
     """
     arr = np.asarray(x, dtype=np.float32)
-    flat = np.ascontiguousarray(arr).reshape(-1)
-    bits = flat.view(np.uint32).astype(np.uint64)  # widen so rounding cannot wrap
-    nan_mask = np.isnan(flat)
+    if not arr.flags.c_contiguous:
+        arr = np.ascontiguousarray(arr)
+    flat = arr.reshape(-1)
+    bits = flat.view(np.uint32)
     # Round-to-nearest-even: add 0x7FFF plus the LSB of the part we keep.
-    lsb = (bits >> np.uint64(16)) & np.uint64(1)
-    rounded = (bits + np.uint64(0x7FFF) + lsb) & np.uint64(0xFFFF0000)
-    out = rounded.astype(np.uint32).view(np.float32).copy()
-    out[nan_mask] = np.nan
+    # uint32 wraparound can only occur for negative-NaN encodings, whose
+    # lanes the NaN mask below overwrites, so no widening is needed.
+    lsb = (bits >> np.uint32(16)) & np.uint32(1)
+    rounded = (bits + (np.uint32(0x7FFF) + lsb)) & np.uint32(0xFFFF0000)
+    out = rounded.view(np.float32)
+    nan_mask = np.isnan(flat)
+    if nan_mask.any():
+        out[nan_mask] = np.nan
     return out.reshape(arr.shape)
 
 

@@ -52,6 +52,7 @@ OP_TYPES = frozenset(
         "dequantize",
         "embedding",
         "lstm_cell",
+        "lstm_step",       # sequence-projected LSTM step (split wx/wh weights)
         "attention",
         "nms",             # SSD non-maximum suppression (x86-only)
         "identity",
@@ -341,6 +342,7 @@ class Graph:
                 "depthwise_conv2d",
                 "fully_connected",
                 "lstm_cell",
+                "lstm_step",
                 "embedding",
                 "batch_norm",
                 "bias_add",
@@ -379,6 +381,15 @@ def _node_macs(graph: Graph, node: Node) -> int:
         weights = graph.tensor(node.inputs[1]).shape
         batch = graph.tensor(node.inputs[0]).shape[0]
         return batch * weights[0] * weights[1]
+    if node.op == "lstm_step":
+        # Same hardware work as lstm_cell with split weights: one step of
+        # input projection plus the recurrent matmul, batch x (in + hidden)
+        # x 4*hidden.  (The *reference* recomputes the whole-sequence input
+        # projection per node; the modelled Ncore does not.)
+        wx = graph.tensor(node.inputs[1]).shape  # (in, 4 * hidden)
+        wh = graph.tensor(node.inputs[2]).shape  # (hidden, 4 * hidden)
+        batch = graph.tensor(node.outputs[0]).shape[0]
+        return batch * (wx[0] + wh[0]) * wx[1]
     if node.op == "attention":
         # score + context matmuls against the encoder states.
         keys = graph.tensor(node.inputs[1]).shape  # (n, time, hidden)

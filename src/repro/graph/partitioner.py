@@ -35,11 +35,20 @@ NCORE_OPS = frozenset(
         "quantize",
         "dequantize",
         "lstm_cell",
+        "lstm_step",
         "attention",
         "slice",
         "identity",
     }
 )
+
+# Ops that join Ncore segments only inside the bf16 float region.  A
+# quantized model's reshapes still break segments at subgraph edges (the
+# historical Delegate behaviour, and what the int8 codegen was tuned
+# against), but in GNMT's bf16 region a reshape is a pure layout no-op
+# between LSTM steps and forcing an x86 island around each one shatters
+# the float region into per-node fragments.
+NCORE_FLOAT_OPS = frozenset({"reshape"})
 
 NCORE_TARGET = "ncore"
 X86_TARGET = "x86"
@@ -82,9 +91,28 @@ class Segment:
         return len(self.nodes)
 
 
-def node_target(node: Node) -> str:
-    """Which engine a single node runs on."""
-    return NCORE_TARGET if node.op in NCORE_OPS else X86_TARGET
+def node_target(node: Node, graph: Graph | None = None) -> str:
+    """Which engine a single node runs on.
+
+    Pass ``graph`` to enable the bf16-region relaxation for
+    :data:`NCORE_FLOAT_OPS`; without it the historical op-only rule applies.
+    """
+    if node.op in NCORE_OPS:
+        return NCORE_TARGET
+    if graph is not None and node.op in NCORE_FLOAT_OPS and _bf16_region(graph, node):
+        return NCORE_TARGET
+    return X86_TARGET
+
+
+def _bf16_region(graph: Graph, node: Node) -> bool:
+    """Whether every tensor the node touches is a bf16 float-region value."""
+    from repro.dtypes import NcoreDType
+
+    for name in (*node.inputs, *node.outputs):
+        tensor = graph.tensor(name)
+        if tensor.quant is not None or tensor.type.dtype is not NcoreDType.BF16:
+            return False
+    return True
 
 
 def partition(graph: Graph) -> list[Segment]:
@@ -97,7 +125,7 @@ def partition(graph: Graph) -> list[Segment]:
     """
     segments: list[Segment] = []
     for node in graph.nodes:
-        target = node_target(node)
+        target = node_target(node, graph)
         if segments and segments[-1].target == target:
             segments[-1].nodes.append(node)
         else:

@@ -32,11 +32,16 @@ class ModelInfo:
     def sample_input(self, graph: Graph, seed: int = 0) -> dict[str, np.ndarray]:
         """A synthetic input batch matching the graph's inputs."""
         rng = np.random.default_rng(seed)
+        # int32 inputs are token ids; keep them inside the smallest
+        # embedding table so reduced-vocab bench builds stay in range.
+        high = 1000
+        for node in graph.find_nodes("embedding"):
+            high = min(high, graph.tensor(node.inputs[0]).shape[0])
         feeds: dict[str, np.ndarray] = {}
         for name in graph.inputs:
             tensor = graph.tensor(name)
             feeds[name] = (
-                rng.integers(0, 1000, size=tensor.shape).astype(np.int32)
+                rng.integers(0, high, size=tensor.shape).astype(np.int32)
                 if tensor.type.dtype == "int32"
                 else rng.uniform(-1, 1, size=tensor.shape).astype(np.float32)
             )

@@ -68,7 +68,7 @@ def _schedule_node(
         return pool_schedule(
             in_shape[3], 1, 1, in_shape[1], in_shape[2], dtype, config=config
         )
-    if node.op in ("add", "mul", "relu", "relu6", "tanh", "sigmoid", "concat", "identity", "slice"):
+    if node.op in ("add", "mul", "relu", "relu6", "tanh", "sigmoid", "concat", "identity", "slice", "reshape"):
         elements = int(np.prod(out_shape))
         return elementwise_schedule(elements, dtype, config=config)
     if node.op in ("quantize", "dequantize"):
@@ -78,6 +78,14 @@ def _schedule_node(
         x_shape = graph.tensor(node.inputs[0]).shape
         hidden = graph.tensor(node.outputs[0]).shape[-1]
         return lstm_schedule(x_shape[0], x_shape[-1], hidden, dtype, config=config)
+    if node.op == "lstm_step":
+        # Split-weight LSTM step: the modelled hardware does one step of
+        # input projection plus the recurrent matmul, so the cycle schedule
+        # matches lstm_cell with the same (batch, in, hidden) dims.
+        seq_shape = graph.tensor(node.inputs[0]).shape
+        batch = graph.tensor(node.outputs[0]).shape[0]
+        hidden = graph.tensor(node.outputs[0]).shape[-1]
+        return lstm_schedule(batch, seq_shape[-1], hidden, dtype, config=config)
     if node.op == "attention":
         keys = graph.tensor(node.inputs[1]).shape  # (n, time, hidden)
         n, time, hidden = keys

@@ -264,23 +264,35 @@ def _qp(graph: Graph, name: str) -> QuantParams:
     return qp
 
 
+def round_float_outputs(
+    graph: Graph, node: Node, outs: list[np.ndarray]
+) -> list[np.ndarray]:
+    """Apply the float-region write-back rounding to a node's outputs.
+
+    bf16 graphs round every intermediate to bfloat16 precision, as the OUT
+    unit does when writing results back to the RAMs; float32 tensors pass
+    through untouched.  This is the bit-exactness contract for the float
+    region — the Tier-3 float macro-kernels (:mod:`repro.ncore.codegen`)
+    replicate exactly this rounding per node output.
+    """
+    from repro.dtypes import NcoreDType, to_bfloat16
+
+    rounded = []
+    for name, value in zip(node.outputs, outs, strict=False):
+        if graph.tensor(name).type.dtype is NcoreDType.BF16:
+            rounded.append(to_bfloat16(np.asarray(value, dtype=np.float32)))
+        else:
+            rounded.append(value)
+    return rounded
+
+
 def _execute_quantized_node(graph: Graph, node: Node, ins: list[np.ndarray]):
     out_name = node.outputs[0]
     out_tensor = graph.tensor(out_name)
     if out_tensor.quant is None and node.op not in ("quantize",):
         # Float region: use the reference semantics (incl. dequantize).
         outs = execute_float_node(graph, node, ins)
-        # bf16 graphs round every intermediate to bfloat16 precision, as
-        # the OUT unit does when writing results back to the RAMs.
-        from repro.dtypes import NcoreDType, to_bfloat16
-
-        rounded = []
-        for name, value in zip(node.outputs, outs, strict=False):
-            if graph.tensor(name).type.dtype is NcoreDType.BF16:
-                rounded.append(to_bfloat16(np.asarray(value, dtype=np.float32)))
-            else:
-                rounded.append(value)
-        return rounded
+        return round_float_outputs(graph, node, outs)
     attrs = node.attrs
     act = attrs.get("activation", "none")
     if node.op == "quantize":

@@ -75,8 +75,10 @@ class TestModelStructure:
 
     def test_gnmt_unrolled_length(self):
         g = PAPER_CHARACTERISTICS["gnmt"].build()
-        # 4 encoder + 4 decoder layers x 25 steps.
-        assert len(g.find_nodes("lstm_cell")) == 8 * 25
+        # 4 encoder layers x 25 sequence-projected steps, 4 decoder layers
+        # x 25 cells.
+        assert len(g.find_nodes("lstm_step")) == 4 * 25
+        assert len(g.find_nodes("lstm_cell")) == 4 * 25
         assert len(g.find_nodes("attention")) == 25
 
     def test_models_validate_and_infer_shapes(self):

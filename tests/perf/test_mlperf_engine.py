@@ -18,7 +18,9 @@ PRE_ENGINE_BASELINE = {
     "mobilenet_v1": (0.000226629608785106, 0.00023098133628745226, 8163.775483737591),
     "resnet50_v15": (0.000839631496264597, 0.0008557540474780858, 1747.4370241044574),
     "ssd_mobilenet_v1": (0.0010948358649663977, 0.001115858834425993, 912.8290838262217),
-    "gnmt": (0.11364032617178875, 0.11582244057170503, 12.786549284326819),
+    # Re-recorded when GNMT's encoder moved to lstm_step and bf16-region
+    # reshapes joined the Ncore partition (fewer x86 islands and offloads).
+    "gnmt": (0.10783783887470308, 0.10990853427827506, 13.786551225958789),
 }
 
 
